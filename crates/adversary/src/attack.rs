@@ -1,0 +1,209 @@
+//! Named attack plans: the adversary matrix of experiment T4.
+
+use ca_net::{Corruption, PartyId, Sim};
+
+use crate::strategies::{AdaptiveGarbage, DelayedCrash, Equivocate, Garbage, PeriodicBurst, Replay};
+
+/// How a lying (protocol-following but corrupted) party distorts its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LieKind {
+    /// Report an implausibly huge value (the `+100 °C` sensor of the
+    /// paper's introduction).
+    ExtremeHigh,
+    /// Report an implausibly tiny value.
+    ExtremeLow,
+    /// Half the liars go high, half go low — the strongest input attack
+    /// against prefix search (maximizes disagreement at every bit).
+    Split,
+}
+
+/// Identifies one adversary strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttackKind {
+    /// No corruption at all (baseline sanity).
+    None,
+    /// `t` scripted parties that never send (crash from round 0).
+    Crash,
+    /// `t` scripted parties spraying malformed bytes.
+    Garbage,
+    /// `t` scripted parties replaying honest payloads cross-channel.
+    Replay,
+    /// `t` scripted parties equivocating two honest payloads.
+    Equivocate,
+    /// `t` protocol-following parties with adversarial inputs.
+    Lying(LieKind),
+    /// Starts fully honest; adaptively corrupts up to `t` parties mid-run,
+    /// then sprays garbage.
+    Adaptive,
+    /// `t` scripted parties that look plausible (replay) then crash-stop
+    /// mid-protocol.
+    DelayedCrash,
+    /// `t` scripted parties silent except periodic equivocation bursts.
+    Burst,
+}
+
+/// A reproducible attack plan: a strategy plus its RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attack {
+    /// The strategy.
+    pub kind: AttackKind,
+    /// Seed for any randomness the strategy uses.
+    pub seed: u64,
+}
+
+impl Attack {
+    /// An attack of the given kind with seed 0.
+    pub fn new(kind: AttackKind) -> Self {
+        Self { kind, seed: 0 }
+    }
+
+    /// No-corruption baseline.
+    pub fn none() -> Self {
+        Self::new(AttackKind::None)
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The full adversary matrix used by experiment T4 and the protocol test
+    /// suites.
+    pub fn standard_suite(seed: u64) -> Vec<Attack> {
+        [
+            AttackKind::None,
+            AttackKind::Crash,
+            AttackKind::Garbage,
+            AttackKind::Replay,
+            AttackKind::Equivocate,
+            AttackKind::Lying(LieKind::ExtremeHigh),
+            AttackKind::Lying(LieKind::ExtremeLow),
+            AttackKind::Lying(LieKind::Split),
+            AttackKind::Adaptive,
+            AttackKind::DelayedCrash,
+            AttackKind::Burst,
+        ]
+        .into_iter()
+        .map(|kind| Attack { kind, seed })
+        .collect()
+    }
+
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            AttackKind::None => "honest",
+            AttackKind::Crash => "crash",
+            AttackKind::Garbage => "garbage",
+            AttackKind::Replay => "replay",
+            AttackKind::Equivocate => "equivocate",
+            AttackKind::Lying(LieKind::ExtremeHigh) => "lying-high",
+            AttackKind::Lying(LieKind::ExtremeLow) => "lying-low",
+            AttackKind::Lying(LieKind::Split) => "lying-split",
+            AttackKind::Adaptive => "adaptive",
+            AttackKind::DelayedCrash => "delayed-crash",
+            AttackKind::Burst => "burst",
+        }
+    }
+
+    /// The parties this plan corrupts from the start of a run with `n`
+    /// parties and budget `t` (the highest-id parties, by convention).
+    pub fn corrupted_parties(&self, n: usize, t: usize) -> Vec<PartyId> {
+        match self.kind {
+            AttackKind::None | AttackKind::Adaptive => Vec::new(),
+            _ => (n - t..n).map(PartyId).collect(),
+        }
+    }
+
+    /// Whether corrupted parties run the honest protocol code with lying
+    /// inputs (as opposed to being message-scripted).
+    pub fn is_lying(&self) -> bool {
+        matches!(self.kind, AttackKind::Lying(_))
+    }
+
+    /// For lying plans: how the `i`-th corrupted party (0-based among the
+    /// corrupted) distorts its input. `None` for non-lying plans.
+    pub fn lie_for(&self, corrupted_index: usize) -> Option<LieKind> {
+        match self.kind {
+            AttackKind::Lying(LieKind::Split) => Some(if corrupted_index % 2 == 0 {
+                LieKind::ExtremeHigh
+            } else {
+                LieKind::ExtremeLow
+            }),
+            AttackKind::Lying(kind) => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Configures a [`Sim`] for this plan: marks corrupted parties and
+    /// installs the message-level adversary.
+    ///
+    /// For [`AttackKind::Lying`] plans the corrupted parties run the honest
+    /// protocol code; the *harness* must feed them distorted inputs
+    /// (see [`Attack::lie_for`]).
+    pub fn install(&self, sim: Sim, n: usize, t: usize) -> Sim {
+        let victims = self.corrupted_parties(n, t);
+        match self.kind {
+            AttackKind::None => sim,
+            AttackKind::Crash => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted)),
+            AttackKind::Garbage => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
+                .with_adversary(Garbage::new(self.seed)),
+            AttackKind::Replay => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
+                .with_adversary(Replay::new(self.seed)),
+            AttackKind::Equivocate => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
+                .with_adversary(Equivocate::new(self.seed)),
+            AttackKind::Lying(_) => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::LyingHonest)),
+            AttackKind::Adaptive => sim.with_adversary(AdaptiveGarbage::new(self.seed, 3)),
+            AttackKind::DelayedCrash => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
+                .with_adversary(DelayedCrash::new(self.seed, 10)),
+            AttackKind::Burst => victims
+                .into_iter()
+                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
+                .with_adversary(PeriodicBurst::new(self.seed, 4)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_kinds() {
+        let suite = Attack::standard_suite(1);
+        assert_eq!(suite.len(), 11);
+        let names: std::collections::HashSet<_> = suite.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 11, "names must be distinct");
+    }
+
+    #[test]
+    fn corrupted_parties_are_last_t() {
+        let a = Attack::new(AttackKind::Crash);
+        assert_eq!(
+            a.corrupted_parties(7, 2),
+            vec![PartyId(5), PartyId(6)]
+        );
+        assert!(Attack::none().corrupted_parties(7, 2).is_empty());
+    }
+
+    #[test]
+    fn split_lie_alternates() {
+        let a = Attack::new(AttackKind::Lying(LieKind::Split));
+        assert_eq!(a.lie_for(0), Some(LieKind::ExtremeHigh));
+        assert_eq!(a.lie_for(1), Some(LieKind::ExtremeLow));
+        assert_eq!(Attack::none().lie_for(0), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! The value domain of byzantine agreement.
+
+use std::fmt::Debug;
+
+use ca_codec::{Decode, Encode};
+
+/// Values byzantine agreement can be run on.
+///
+/// * `Encode + Decode` — values travel on the wire (robust against
+///   byzantine bytes).
+/// * `Ord` — deterministic tie-breaking (e.g. `Π_BA+` orders its two
+///   candidates `a ≤ b`).
+/// * `Default` — the fallback output when honest inputs disagree and no
+///   candidate emerges (BA Validity places no constraint there).
+///
+/// Implemented automatically for every type with the listed bounds:
+/// `bool`, `u64`, `Hash256`, `Option<V>`, `BitString`, …
+pub trait Value:
+    Encode + Decode + Clone + Eq + Ord + Default + Debug + Send + Sync + 'static
+{
+}
+
+impl<T> Value for T where
+    T: Encode + Decode + Clone + Eq + Ord + Default + Debug + Send + Sync + 'static
+{
+}

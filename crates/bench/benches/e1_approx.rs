@@ -1,0 +1,6 @@
+//! Bench target for extra experiment E1 (see DESIGN.md §3). Prints the
+//! table; honors CA_BENCH_QUICK=1 for a reduced sweep.
+fn main() {
+    let quick = std::env::var("CA_BENCH_QUICK").is_ok();
+    assert!(ca_bench::experiments::run_by_name("e1", quick));
+}

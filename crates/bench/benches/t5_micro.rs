@@ -1,0 +1,92 @@
+//! Experiment T5: criterion micro-benchmarks of the substrates —
+//! SHA-256 throughput, Merkle build/verify, Reed–Solomon encode/decode,
+//! and `BitString`/`Nat` hot operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ca_bits::{BitString, Nat};
+use ca_crypto::{sha256, MerkleTree};
+use ca_erasure::ReedSolomon;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [8usize, 32, 128] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 64]).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::build(leaves));
+        });
+        let tree = MerkleTree::build(&leaves);
+        let w = tree.witness(n / 2);
+        group.bench_with_input(BenchmarkId::new("verify", n), &w, |b, w| {
+            b.iter(|| MerkleTree::verify(tree.root(), n / 2, &leaves[n / 2], w));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon");
+    for (n, size) in [(7usize, 16 * 1024usize), (13, 16 * 1024), (31, 64 * 1024)] {
+        let t = (n - 1) / 3;
+        let rs = ReedSolomon::new(n, n - t).unwrap();
+        let data = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("n{n}_{size}B")),
+            &data,
+            |b, data| {
+                b.iter(|| rs.encode(data));
+            },
+        );
+        let shares = rs.encode(&data);
+        let subset: Vec<_> = shares.iter().cloned().enumerate().skip(t).collect();
+        group.bench_with_input(
+            BenchmarkId::new("decode", format!("n{n}_{size}B")),
+            &subset,
+            |b, subset| {
+                b.iter(|| rs.decode(subset).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bits");
+    let ell = 1 << 16;
+    let a = BitString::from_bits((0..ell).map(|i| i % 3 == 0));
+    let b = {
+        let mut b = a.clone();
+        b.set(ell / 2, !b.get(ell / 2));
+        b
+    };
+    group.bench_function("common_prefix_64k", |bch| {
+        bch.iter(|| a.common_prefix_len(&b));
+    });
+    group.bench_function("slice_unaligned_64k", |bch| {
+        bch.iter(|| a.slice(3, ell - 5));
+    });
+    group.bench_function("cmp_val_64k", |bch| {
+        bch.iter(|| a.cmp_val(&b));
+    });
+    let nat = Nat::all_ones(1 << 14);
+    group.bench_function("nat_bits_round_trip_16k", |bch| {
+        bch.iter(|| nat.to_bits_len(1 << 14).unwrap().val());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_merkle, bench_reed_solomon, bench_bits);
+criterion_main!(benches);

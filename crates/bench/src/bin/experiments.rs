@@ -1,0 +1,20 @@
+//! Experiment driver: `cargo run -p ca-bench --release --bin experiments --
+//! [t1|f1|f2|t2|f3|t3|t4|f4|f5|all] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids = if ids.is_empty() { vec!["all"] } else { ids };
+    for id in ids {
+        if !ca_bench::experiments::run_by_name(id, quick) {
+            eprintln!("unknown experiment id: {id}");
+            eprintln!("known: t1 f1 f2 t2 f3 t3 t4 f4 f5 all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The experiment suite: one function per table/figure of `DESIGN.md` §3.
+//!
+//! Every function prints its table(s) to stdout; `EXPERIMENTS.md` records
+//! the claim-vs-measured discussion. `quick` shrinks sweeps for CI.
+
+use ca_adversary::{Attack, AttackKind};
+use ca_ba::{ba_plus, lba_plus, turpin_coan, BaKind};
+use ca_bits::BitString;
+use ca_core::find_prefix;
+use ca_crypto::sha256;
+use ca_net::Sim;
+
+use crate::table::{fmt_bits, Table};
+use crate::workload::{apply_lies, clustered_nats};
+use crate::{run_nat_protocol, Protocol};
+
+/// Runs one experiment by id (`"t1"`, `"f1"`, …, or `"all"`).
+///
+/// Returns `false` if the id is unknown.
+pub fn run_by_name(name: &str, quick: bool) -> bool {
+    let started = std::time::Instant::now();
+    let ok = run_inner(name, quick);
+    if ok && name != "all" {
+        eprintln!("[{name} finished in {:.1?}]", started.elapsed());
+    }
+    ok
+}
+
+fn run_inner(name: &str, quick: bool) -> bool {
+    match name {
+        "t1" => t1_protocol_comparison(quick),
+        "f1" => f1_scaling_ell(quick),
+        "f2" => f2_scaling_n(quick),
+        "t2" => t2_rounds(quick),
+        "f3" => f3_breakdown(quick),
+        "t3" => t3_extension(quick),
+        "t4" => t4_adversarial(quick),
+        "f4" => f4_ba_ablation(quick),
+        "f5" => f5_findprefix(quick),
+        "e1" => e1_approx_vs_exact(quick),
+        "all" => {
+            for id in ["t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1"] {
+                run_by_name(id, quick);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// **T1** — Corollary 2: `Π_ℕ` vs the `O(ℓn²)` and `O(ℓn³)` baselines at a
+/// fixed large `ℓ`. Expected shape: ours wins, by a factor growing ≈
+/// linearly (vs broadcast) resp. ≈ quadratically (vs high-cost) in `n`.
+pub fn t1_protocol_comparison(quick: bool) {
+    let ns: &[usize] = if quick { &[4, 7] } else { &[4, 7, 10, 13] };
+    let ell = 1 << 14;
+    let mut table = Table::new(
+        "T1: communication at ℓ = 2^14 (honest bits; paper Cor. 2 vs §1 baselines)",
+        &["n", "protocol", "BITS_l", "rounds", "vs pi_n", "agree", "convex"],
+    );
+    for &n in ns {
+        let inputs = clustered_nats(0x71 ^ n as u64, n, ell, ell / 2);
+        let mut ours_bits = 0u64;
+        for proto in Protocol::lineup() {
+            let stats = run_nat_protocol(proto, &inputs, Attack::none());
+            if matches!(proto, Protocol::PiN(_)) {
+                ours_bits = stats.honest_bits;
+            }
+            let ratio = stats.honest_bits as f64 / ours_bits.max(1) as f64;
+            table.row_strings(vec![
+                n.to_string(),
+                stats.protocol.to_string(),
+                fmt_bits(stats.honest_bits),
+                stats.rounds.to_string(),
+                format!("{ratio:.2}x"),
+                stats.agreement.to_string(),
+                stats.validity.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// **F1** — §1/§8: `Π_ℕ` is communication-optimal for
+/// `ℓ = Ω(κ·n·log²n)`; below that threshold the additive `poly(n, κ)` term
+/// dominates and the simpler baselines can be cheaper — the crossover.
+pub fn f1_scaling_ell(quick: bool) {
+    let n = 7;
+    let exps: &[usize] = if quick {
+        &[6, 10, 14]
+    } else {
+        &[6, 8, 10, 12, 14, 16, 18]
+    };
+    let mut table = Table::new(
+        "F1: honest bits vs ℓ at n = 7 (series; crossover where pi_n wins)",
+        &["l=2^k", "pi_n", "broadcast_ca", "high_cost_ca", "winner"],
+    );
+    for &k in exps {
+        let ell = 1usize << k;
+        let inputs = clustered_nats(0xF1 ^ k as u64, n, ell, ell / 2);
+        let mut bits = Vec::new();
+        for proto in Protocol::lineup() {
+            bits.push(run_nat_protocol(proto, &inputs, Attack::none()).honest_bits);
+        }
+        let winner = Protocol::lineup()[bits
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| **b)
+            .map(|(i, _)| i)
+            .unwrap_or(0)]
+        .name();
+        table.row_strings(vec![
+            format!("2^{k}"),
+            fmt_bits(bits[0]),
+            fmt_bits(bits[1]),
+            fmt_bits(bits[2]),
+            winner.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// **F2** — asymptotic slope in `n` of the **value term** `∂BITS/∂ℓ`.
+///
+/// Total bits mix the value term with the additive `κ·poly(n)` term, which
+/// dominates at practical `ℓ` and hides the slopes; the *marginal* cost of
+/// one extra input bit isolates the value term exactly: the paper claims
+/// `Θ(n)` for `Π_ℕ` vs `Θ(n²)` for broadcast-based CA vs `Θ(n³)` for
+/// `HighCostCA`.
+pub fn f2_scaling_n(quick: bool) {
+    let (ell_lo, ell_hi) = (1usize << 13, 1usize << 14);
+    let ns: &[usize] = if quick { &[4, 7, 10] } else { &[4, 7, 10, 13, 16] };
+    let mut series: Vec<(Protocol, Vec<(usize, f64)>)> =
+        Protocol::lineup().into_iter().map(|p| (p, Vec::new())).collect();
+    let mut table = Table::new(
+        "F2: marginal bits per input bit, (BITS(2^14) − BITS(2^13)) / 2^13",
+        &["n", "pi_n", "broadcast_ca", "high_cost_ca"],
+    );
+    for &n in ns {
+        let inputs_lo = clustered_nats(0xF2 ^ n as u64, n, ell_lo, ell_lo / 2);
+        let inputs_hi = clustered_nats(0xF2 ^ n as u64, n, ell_hi, ell_hi / 2);
+        let mut row = vec![n.to_string()];
+        for (proto, points) in series.iter_mut() {
+            let lo = run_nat_protocol(*proto, &inputs_lo, Attack::none()).honest_bits;
+            let hi = run_nat_protocol(*proto, &inputs_hi, Attack::none()).honest_bits;
+            let marginal = hi.saturating_sub(lo) as f64 / (ell_hi - ell_lo) as f64;
+            points.push((n, marginal));
+            row.push(format!("{marginal:.1}"));
+        }
+        table.row_strings(row);
+    }
+    table.print();
+
+    let mut fit = Table::new(
+        "F2 (fit): log-log exponent of the marginal cost in n (paper: 1 / 2 / 3)",
+        &["protocol", "exponent"],
+    );
+    for (proto, points) in &series {
+        if points.len() >= 2 {
+            let (n1, b1) = points[0];
+            let (n2, b2) = points[points.len() - 1];
+            let slope = (b2 / b1).ln() / ((n2 as f64) / (n1 as f64)).ln();
+            fit.row_strings(vec![proto.name().to_string(), format!("{slope:.2}")]);
+        }
+    }
+    fit.print();
+}
+
+/// **T2** — round complexity: Cor. 2 claims `ROUNDSℓ(Π_ℤ) = O(n log n)`;
+/// with phase-king `Π_BA` the dominant term is
+/// `O(log n)` BA invocations × `O(n)` rounds each.
+pub fn t2_rounds(quick: bool) {
+    let ns: &[usize] = if quick { &[4, 7, 10] } else { &[4, 7, 10, 13, 16] };
+    let ell = 1 << 10;
+    let mut table = Table::new(
+        "T2: rounds vs n at ℓ = 2^10 (paper: O(n log n) for pi_n)",
+        &["n", "pi_n", "rounds/(n·log2 n)", "high_cost_ca", "broadcast_ca(seq)", "broadcast_ca(par)"],
+    );
+    for &n in ns {
+        let inputs = clustered_nats(0x72 ^ n as u64, n, ell, ell / 2);
+        let ours = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &inputs, Attack::none());
+        let hc = run_nat_protocol(Protocol::HighCostCa, &inputs, Attack::none());
+        let bc = run_nat_protocol(Protocol::BroadcastCa, &inputs, Attack::none());
+        let bcp = run_nat_protocol(Protocol::BroadcastCaParallel, &inputs, Attack::none());
+        let norm = ours.rounds as f64 / (n as f64 * (n as f64).log2());
+        table.row_strings(vec![
+            n.to_string(),
+            ours.rounds.to_string(),
+            format!("{norm:.1}"),
+            hc.rounds.to_string(),
+            bc.rounds.to_string(),
+            bcp.rounds.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// **F3** — Theorem 5's cost decomposition: which subprotocol pays what.
+pub fn f3_breakdown(quick: bool) {
+    let n: usize = if quick { 7 } else { 10 };
+    // The short path requires ℓ ≤ n²; pick the largest power of two below.
+    let short_ell = 1usize << ((n * n).ilog2() - 1);
+    for (label, ell) in [
+        (format!("short path, ℓ = {short_ell}"), short_ell),
+        ("long path, ℓ = 2^16".to_owned(), 1 << 16),
+    ] {
+        let inputs = clustered_nats(0xF3, n, ell, ell / 2);
+        let stats = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &inputs, Attack::none());
+        let mut table = Table::new(
+            &format!("F3: per-subprotocol breakdown, n = {n}, {label}"),
+            &["scope", "bits", "share", "rounds"],
+        );
+        let total = stats.metrics.honest_bits.max(1);
+        for scope in [
+            "pi_n/path_ba",
+            "pi_n/len_est",
+            "pi_n/blocksize",
+            "pi_n/flca/find_prefix",
+            "pi_n/flca/add_last_bit",
+            "pi_n/flca/get_output",
+            "pi_n/flcab/find_prefix",
+            "pi_n/flcab/add_last_block",
+            "pi_n/flcab/get_output",
+        ] {
+            let m = stats.metrics.scope_subtree(scope);
+            if m.honest_bits == 0 && m.rounds == 0 {
+                continue;
+            }
+            table.row_strings(vec![
+                scope.to_string(),
+                fmt_bits(m.honest_bits),
+                format!("{:.1}%", 100.0 * m.honest_bits as f64 / total as f64),
+                m.rounds.to_string(),
+            ]);
+        }
+        table.row_strings(vec![
+            "TOTAL".to_string(),
+            fmt_bits(stats.honest_bits),
+            "100%".to_string(),
+            stats.rounds.to_string(),
+        ]);
+        table.print();
+    }
+}
+
+/// **T3** — Theorem 1: the extension protocol `Π_ℓBA+` vs running the
+/// multi-valued BA directly on ℓ-bit values (`O(ℓn + κn²log n)` vs
+/// `O(ℓn²)`); the gap should grow ≈ linearly in ℓ·n.
+pub fn t3_extension(quick: bool) {
+    let n = 7;
+    let exps: &[usize] = if quick { &[10, 14] } else { &[8, 10, 12, 14, 16] };
+    let mut table = Table::new(
+        "T3: Π_ℓBA+ vs direct multi-valued BA on ℓ-bit inputs, n = 7",
+        &["l=2^k", "lba+ bits", "direct tc bits", "ratio"],
+    );
+    for &k in exps {
+        let ell = 1usize << k;
+        let inputs: Vec<BitString> = clustered_nats(0x73 ^ k as u64, n, ell, ell / 2)
+            .iter()
+            .map(|v| v.to_bits_len(ell).expect("sized"))
+            .collect();
+        let a = {
+            let inputs = inputs.clone();
+            Sim::new(n)
+                .run(move |ctx, id| lba_plus(ctx, &inputs[id.index()], BaKind::TurpinCoan))
+                .metrics
+                .honest_bits
+        };
+        let b = {
+            let inputs = inputs.clone();
+            Sim::new(n)
+                .run(move |ctx, id| turpin_coan(ctx, inputs[id.index()].clone()))
+                .metrics
+                .honest_bits
+        };
+        table.row_strings(vec![
+            format!("2^{k}"),
+            fmt_bits(a),
+            fmt_bits(b),
+            format!("{:.2}x", b as f64 / a as f64),
+        ]);
+    }
+    table.print();
+}
+
+/// **T4** — Definition 1 under the full adversary matrix: every protocol ×
+/// every attack × seeds; all cells must read `ok`.
+pub fn t4_adversarial(quick: bool) {
+    let n = 7;
+    let t = ca_net::max_faults(n);
+    let ell = 256;
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+    let mut table = Table::new(
+        "T4: Termination ∧ Agreement ∧ Convex Validity, n = 7, ℓ = 256",
+        &["attack", "pi_n", "broadcast_ca", "high_cost_ca"],
+    );
+    for attack in Attack::standard_suite(0) {
+        let mut row = vec![attack.name().to_string()];
+        for proto in Protocol::lineup() {
+            let mut ok = true;
+            let mut worst_bits = 0u64;
+            for &seed in seeds {
+                let attack = attack.with_seed(seed);
+                let mut inputs = clustered_nats(0x74 ^ seed, n, ell, ell / 2);
+                apply_lies(&mut inputs, &attack, n, t, ell);
+                let stats = run_nat_protocol(proto, &inputs, attack);
+                ok &= stats.agreement && stats.validity;
+                worst_bits = worst_bits.max(stats.honest_bits);
+            }
+            row.push(if ok {
+                format!("ok ({})", fmt_bits(worst_bits))
+            } else {
+                "VIOLATION".to_string()
+            });
+        }
+        table.row_strings(row);
+    }
+    table.print();
+}
+
+/// **F4** — ablation: `Π_BA` instantiation (Turpin–Coan reduction vs direct
+/// multi-valued phase-king) inside the full stack and inside `Π_BA+`.
+pub fn f4_ba_ablation(quick: bool) {
+    let ns: &[usize] = if quick { &[4, 7] } else { &[4, 7, 10, 13] };
+    let ell = 1 << 10;
+    let mut table = Table::new(
+        "F4: Π_BA ablation (Turpin–Coan vs phase-king)",
+        &["n", "pi_n[tc] bits", "pi_n[pk] bits", "ba+[tc] bits", "ba+[pk] bits"],
+    );
+    for &n in ns {
+        let inputs = clustered_nats(0xF4 ^ n as u64, n, ell, ell / 2);
+        let tc = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &inputs, Attack::none());
+        let pk = run_nat_protocol(Protocol::PiN(BaKind::PhaseKing), &inputs, Attack::none());
+        let hashes: Vec<_> = (0..n).map(|i| sha256(&[i as u8, (i / 3) as u8])).collect();
+        let bap_tc = {
+            let hashes = hashes.clone();
+            Sim::new(n)
+                .run(move |ctx, id| ba_plus(ctx, hashes[id.index() / 3], BaKind::TurpinCoan))
+                .metrics
+                .honest_bits
+        };
+        let bap_pk = {
+            let hashes = hashes.clone();
+            Sim::new(n)
+                .run(move |ctx, id| ba_plus(ctx, hashes[id.index() / 3], BaKind::PhaseKing))
+                .metrics
+                .honest_bits
+        };
+        table.row_strings(vec![
+            n.to_string(),
+            fmt_bits(tc.honest_bits),
+            fmt_bits(pk.honest_bits),
+            fmt_bits(bap_tc),
+            fmt_bits(bap_pk),
+        ]);
+    }
+    table.print();
+}
+
+/// **F5** — Lemma 1/8 behaviour of `FindPrefix`: iteration count is
+/// `≤ ⌈log₂ ℓ⌉ + 1` and the agreed prefix is never shorter than the honest
+/// inputs' longest common prefix, with and without a splitting input
+/// attack.
+pub fn f5_findprefix(quick: bool) {
+    let n = 7;
+    let t = ca_net::max_faults(n);
+    let exps: &[usize] = if quick { &[6, 10] } else { &[4, 6, 8, 10, 12] };
+    let mut table = Table::new(
+        "F5: FindPrefix iterations and agreed-prefix length vs ℓ, n = 7",
+        &["l=2^k", "attack", "iters", "log2(l)+1", "|PREFIX*|", "honest LCP"],
+    );
+    for &k in exps {
+        let ell = 1usize << k;
+        for attack in [
+            Attack::none(),
+            Attack::new(AttackKind::Lying(ca_adversary::LieKind::Split)),
+        ] {
+            let mut inputs = clustered_nats(0xF5 ^ k as u64, n, ell, ell / 4);
+            apply_lies(&mut inputs, &attack, n, t, ell);
+            let bits: Vec<BitString> = inputs
+                .iter()
+                .map(|v| v.to_bits_len(ell).expect("sized"))
+                .collect();
+            let honest_bits_strs: Vec<&BitString> = (0..n)
+                .filter(|i| !attack.corrupted_parties(n, t).iter().any(|p| p.index() == *i))
+                .map(|i| &bits[i])
+                .collect();
+            let lcp = honest_bits_strs
+                .windows(2)
+                .map(|w| w[0].common_prefix_len(w[1]))
+                .min()
+                .unwrap_or(ell);
+            let sim = attack.install(Sim::new(n), n, t);
+            let bits_owned = bits.clone();
+            let report = sim.run(move |ctx, id| {
+                find_prefix(ctx, ell, &bits_owned[id.index()], BaKind::TurpinCoan)
+            });
+            let out = report.honest_outputs()[0].clone();
+            table.row_strings(vec![
+                format!("2^{k}"),
+                attack.name().to_string(),
+                out.iterations.to_string(),
+                (k + 1).to_string(),
+                out.prefix.len().to_string(),
+                lcp.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// **E1** (extra, beyond the paper) — exact CA vs the classical relaxation
+/// it strengthens: Approximate Agreement [16]. AA pays `O(ℓ'n²)` per
+/// halving round for ε-agreement on bounded integers; CA pays once for
+/// exact agreement on unbounded integers.
+pub fn e1_approx_vs_exact(quick: bool) {
+    use ca_core::approx_agreement;
+    let ns: &[usize] = if quick { &[7] } else { &[4, 7, 10, 13] };
+    let mut table = Table::new(
+        "E1: Approximate Agreement [16] vs exact CA (inputs in [0, 2^20), ε = 1)",
+        &["n", "aa bits", "aa rounds", "pi_n bits", "pi_n rounds"],
+    );
+    for &n in ns {
+        let inputs: Vec<i64> = (0..n as i64).map(|i| 500_000 + i * 1_000).collect();
+        let aa = {
+            let inputs = inputs.clone();
+            Sim::new(n).run(move |ctx, id| {
+                approx_agreement(ctx, inputs[id.index()], (0, 1 << 20), 1)
+            })
+        };
+        let ca_inputs: Vec<_> =
+            inputs.iter().map(|&v| ca_bits::Nat::from_u64(v as u64)).collect();
+        let ca = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &ca_inputs, Attack::none());
+        table.row_strings(vec![
+            n.to_string(),
+            fmt_bits(aa.metrics.honest_bits),
+            aa.metrics.rounds.to_string(),
+            fmt_bits(ca.honest_bits),
+            ca.rounds.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// Smoke-level sanity used by `cargo test -p ca-bench`: every experiment
+/// runs in quick mode without panicking.
+pub fn smoke_all() {
+    assert!(run_by_name("all", true));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_experiment_rejected() {
+        assert!(!super::run_by_name("nope", true));
+    }
+}

@@ -1,0 +1,132 @@
+//! Protocol runners: execute one configured run and collect the
+//! quantities the paper bounds, plus property verdicts.
+
+use ca_adversary::Attack;
+use ca_ba::BaKind;
+use ca_bits::Nat;
+use ca_core::{
+    broadcast_ca, broadcast_ca_parallel, check_agreement, check_convex_validity, high_cost_ca,
+    pi_n,
+};
+use ca_net::{Metrics, Sim};
+
+/// Which CA protocol a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The paper's `Π_ℕ`/`Π_ℤ` stack (`O(ℓn + κn²log²n)`).
+    PiN(BaKind),
+    /// Classical broadcast-based CA (`O(ℓn²)` baseline), instances run
+    /// sequentially.
+    BroadcastCa,
+    /// Same baseline with all `n` broadcast instances composed in parallel
+    /// (identical bits up to tags; `O(max)` rounds).
+    BroadcastCaParallel,
+    /// Stolz–Wattenhofer-style king CA (`O(ℓn³)` baseline).
+    HighCostCa,
+}
+
+impl Protocol {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::PiN(BaKind::TurpinCoan) => "pi_n",
+            Protocol::PiN(BaKind::PhaseKing) => "pi_n[pk]",
+            Protocol::BroadcastCa => "broadcast_ca",
+            Protocol::BroadcastCaParallel => "broadcast_ca_par",
+            Protocol::HighCostCa => "high_cost_ca",
+        }
+    }
+
+    /// The default experiment line-up: ours + both baselines.
+    pub fn lineup() -> [Protocol; 3] {
+        [
+            Protocol::PiN(BaKind::TurpinCoan),
+            Protocol::BroadcastCa,
+            Protocol::HighCostCa,
+        ]
+    }
+}
+
+/// Everything measured about one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Parties.
+    pub n: usize,
+    /// Corruption budget.
+    pub t: usize,
+    /// Input length in bits.
+    pub ell: usize,
+    /// Attack name.
+    pub attack: &'static str,
+    /// `BITSℓ`: bits sent by honest parties.
+    pub honest_bits: u64,
+    /// `ROUNDSℓ`.
+    pub rounds: u64,
+    /// Did all honest outputs agree?
+    pub agreement: bool,
+    /// Were all honest outputs inside the honest inputs' hull?
+    pub validity: bool,
+    /// Full metrics (per-scope breakdowns).
+    pub metrics: Metrics,
+}
+
+/// Runs `protocol` on `inputs` (`inputs[i]` = party `i`'s value) under
+/// `attack`, with `t = ⌊(n−1)/3⌋`, and checks Definition 1's properties.
+pub fn run_nat_protocol(protocol: Protocol, inputs: &[Nat], attack: Attack) -> RunStats {
+    let n = inputs.len();
+    let t = ca_net::max_faults(n);
+    let ell = inputs.iter().map(Nat::bit_len).max().unwrap_or(0);
+    let sim = attack.install(Sim::new(n), n, t);
+    let inputs_owned = inputs.to_vec();
+
+    let report = sim.run(move |ctx, id| {
+        let input = inputs_owned[id.index()].clone();
+        match protocol {
+            Protocol::PiN(ba) => pi_n(ctx, &input, ba),
+            Protocol::BroadcastCa => broadcast_ca(ctx, input, BaKind::TurpinCoan),
+            Protocol::BroadcastCaParallel => {
+                broadcast_ca_parallel(ctx, input, BaKind::TurpinCoan)
+            }
+            Protocol::HighCostCa => high_cost_ca(ctx, input, |_| true),
+        }
+    });
+
+    let honest_parties = report.honest_parties();
+    let honest_inputs: Vec<Nat> = honest_parties
+        .iter()
+        .map(|p| inputs[p.index()].clone())
+        .collect();
+    let honest_outputs: Vec<Nat> = report.honest_outputs().into_iter().cloned().collect();
+
+    RunStats {
+        protocol: protocol.name(),
+        n,
+        t,
+        ell,
+        attack: attack.name(),
+        honest_bits: report.metrics.honest_bits,
+        rounds: report.metrics.rounds,
+        agreement: check_agreement(&honest_outputs),
+        validity: check_convex_validity(&honest_outputs, &honest_inputs),
+        metrics: report.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::clustered_nats;
+
+    #[test]
+    fn all_protocols_pass_basic_run() {
+        let inputs = clustered_nats(3, 4, 64, 8);
+        for proto in Protocol::lineup() {
+            let stats = run_nat_protocol(proto, &inputs, Attack::none());
+            assert!(stats.agreement, "{}", stats.protocol);
+            assert!(stats.validity, "{}", stats.protocol);
+            assert!(stats.honest_bits > 0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal aligned-column table printing for experiment output.
+
+use std::fmt::Display;
+
+/// A column-aligned text table with a title, rendered to stdout by
+/// [`Table::print`].
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringifying each cell).
+    pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Appends one pre-stringified row.
+    pub fn row_strings(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout; additionally, when the environment
+    /// variable `CA_BENCH_JSON_DIR` names a directory, writes the table as
+    /// machine-readable JSON (`{title, header, rows}`) into it.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Ok(dir) = std::env::var("CA_BENCH_JSON_DIR") {
+            if let Err(e) = self.write_json(std::path::Path::new(&dir)) {
+                eprintln!("warning: could not write JSON table: {e}");
+            }
+        }
+    }
+
+    /// Serializes the table as JSON into `dir/<slug-of-title>.json`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialization failures.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        #[derive(serde::Serialize)]
+        struct JsonTable<'a> {
+            title: &'a str,
+            header: &'a [String],
+            rows: &'a [Vec<String>],
+        }
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .take_while(|c| *c != ':')
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.json"));
+        let json = serde_json::to_string_pretty(&JsonTable {
+            title: &self.title,
+            header: &self.header,
+            rows: &self.rows,
+        })
+        .map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Formats a bit count with a thousands separator for readability.
+pub fn fmt_bits(bits: u64) -> String {
+    let s = bits.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(&[1, 2]).row(&[333, 4]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("333"));
+    }
+
+    #[test]
+    fn bits_formatting() {
+        assert_eq!(fmt_bits(1), "1");
+        assert_eq!(fmt_bits(1234), "1_234");
+        assert_eq!(fmt_bits(1234567), "1_234_567");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new("x", &["a"]).row(&[1, 2]);
+    }
+
+    #[test]
+    fn json_export() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-json-{}", std::process::id()));
+        let mut t = Table::new("T9: json demo", &["k", "v"]);
+        t.row(&[1, 2]);
+        t.write_json(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("t9.json")).unwrap();
+        assert!(text.contains("\"title\""));
+        assert!(text.contains("json demo"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

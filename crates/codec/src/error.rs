@@ -1,0 +1,81 @@
+//! Codec error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated bytes.
+///
+/// Protocol code treats any decode failure on a received message as "the
+/// sender did not send a well-formed message", which in the byzantine model
+/// is indistinguishable from silence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A LEB128 varint used more than 10 bytes or had a set bit beyond 64.
+    VarintOverflow,
+    /// A decoded varint does not fit the target integer type.
+    VarintRange {
+        /// Target type name.
+        type_name: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// An enum/bool discriminant byte had an invalid value.
+    InvalidDiscriminant {
+        /// Type being decoded.
+        type_name: &'static str,
+        /// The offending discriminant.
+        value: u64,
+    },
+    /// A claimed collection length exceeds the remaining input bytes.
+    LengthOverrun {
+        /// Length claimed by the (possibly adversarial) encoder.
+        claimed: usize,
+        /// Bytes remaining in the input.
+        available: usize,
+    },
+    /// Decoded after the value finished, but bytes remain.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// String bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A domain-specific validity rule failed (e.g. a bitstring longer than
+    /// its declared bound).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {available} available")
+            }
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::VarintRange { type_name, value } => {
+                write!(f, "value {value} out of range for {type_name}")
+            }
+            CodecError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            CodecError::LengthOverrun { claimed, available } => {
+                write!(f, "claimed length {claimed} exceeds {available} available bytes")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl Error for CodecError {}

@@ -1,0 +1,436 @@
+//! Deterministic wire codec for the convex-agreement protocol suite.
+//!
+//! Every message that crosses the (simulated or real) network is encoded with
+//! this codec. Two properties matter for a byzantine-fault-tolerant protocol:
+//!
+//! 1. **Determinism** — the same value always encodes to the same bytes, so
+//!    hashes of encodings are well-defined and communication accounting is
+//!    exact.
+//! 2. **Robustness** — decoding never panics and never allocates unbounded
+//!    memory on adversarial input; malformed bytes yield a [`CodecError`],
+//!    which protocols treat as "no message received".
+//!
+//! The format is a simple little-endian binary layout with LEB128 varints for
+//! lengths. There is no self-description: both sides must agree on the type,
+//! which is always the case inside a lock-step synchronous protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use ca_codec::{Decode, Encode};
+//!
+//! # fn main() -> Result<(), ca_codec::CodecError> {
+//! let msg = (42u64, vec![1u8, 2, 3], true);
+//! let bytes = msg.encode_to_vec();
+//! let back = <(u64, Vec<u8>, bool)>::decode_from_slice(&bytes)?;
+//! assert_eq!(back, msg);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod reader;
+mod writer;
+
+pub use error::CodecError;
+pub use reader::Reader;
+pub use writer::Writer;
+
+/// Types that can be deterministically serialized to bytes.
+///
+/// Implementations must be *canonical*: equal values produce identical byte
+/// strings. This is relied upon when hashing encodings (Merkle leaves,
+/// `Π_BA+` inputs) and when counting communication bits.
+pub trait Encode {
+    /// Appends the encoding of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encodes into a fresh `Vec<u8>`.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// The exact number of bytes [`Self::encode`] will produce.
+    ///
+    /// The default implementation encodes and measures; types on hot paths
+    /// override it.
+    fn encoded_len(&self) -> usize {
+        self.encode_to_vec().len()
+    }
+}
+
+/// Types that can be decoded from bytes produced by [`Encode`].
+///
+/// Decoding adversarial bytes must fail cleanly with a [`CodecError`]; it must
+/// not panic or allocate proportionally to attacker-claimed (rather than
+/// actually present) lengths.
+pub trait Decode: Sized {
+    /// Reads one value from `r`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the bytes are truncated or malformed.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a value that must occupy the *entire* slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::TrailingBytes`] if the slice is longer than the
+    /// encoding, in addition to the errors of [`Self::decode`].
+    fn decode_from_slice(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::InvalidDiscriminant {
+                type_name: "bool",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_u8()
+    }
+}
+
+macro_rules! impl_varint {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.put_varint(u64::from(*self));
+            }
+            fn encoded_len(&self) -> usize {
+                Writer::varint_len(u64::from(*self))
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let raw = r.get_varint()?;
+                <$ty>::try_from(raw).map_err(|_| CodecError::VarintRange {
+                    type_name: stringify!($ty),
+                    value: raw,
+                })
+            }
+        }
+    )*};
+}
+
+impl_varint!(u16, u32, u64);
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(*self as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        Writer::varint_len(*self as u64)
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let raw = r.get_varint()?;
+        usize::try_from(raw).map_err(|_| CodecError::VarintRange {
+            type_name: "usize",
+            value: raw,
+        })
+    }
+}
+
+/// Signed integers use zigzag encoding so small magnitudes stay small.
+impl Encode for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(zigzag_encode(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        Writer::varint_len(zigzag_encode(*self))
+    }
+}
+
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(zigzag_decode(r.get_varint()?))
+    }
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CodecError::InvalidDiscriminant {
+                type_name: "Option",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// Length-prefixed sequence. Decoding caps preallocation at the number of
+/// bytes actually remaining, so a forged length cannot cause a huge
+/// allocation.
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        Writer::varint_len(self.len() as u64)
+            + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = usize::decode(r)?;
+        // An element encodes to >= 1 byte, so `len` may not exceed the
+        // remaining byte count for well-formed input.
+        if len > r.remaining() {
+            return Err(CodecError::LengthOverrun {
+                claimed: len,
+                available: r.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        Writer::varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = r.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+}
+
+impl Encode for () {
+    fn encode(&self, _w: &mut Writer) {}
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+impl Decode for () {
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, w: &mut Writer) {
+                $(self.$idx.encode(w);)+
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(self);
+    }
+    fn encoded_len(&self) -> usize {
+        N
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let slice = r.get_raw(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, w: &mut Writer) {
+        (**self).encode(w);
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_to_vec();
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len mismatch");
+        let back = T::decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(true);
+        round_trip(false);
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(300u16);
+        round_trip(77usize);
+        round_trip(-1i64);
+        round_trip(i64::MIN);
+        round_trip(i64::MAX);
+        round_trip(());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip(vec![10u64, 20, 30]);
+        round_trip(Some(9u64));
+        round_trip(Option::<u64>::None);
+        round_trip(String::from("hello Π_BA+"));
+        round_trip((1u64, vec![4u8, 5], false));
+        round_trip([7u8; 32]);
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        assert!(bool::decode_from_slice(&[2]).is_err());
+    }
+
+    #[test]
+    fn option_rejects_junk_discriminant() {
+        assert!(Option::<u64>::decode_from_slice(&[9, 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u64.encode_to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            u64::decode_from_slice(&bytes),
+            Err(CodecError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_vec_length_does_not_allocate() {
+        // Claims 2^60 elements but provides none.
+        let mut w = Writer::new();
+        w.put_varint(1 << 60);
+        let err = Vec::<u64>::decode_from_slice(&w.into_vec()).unwrap_err();
+        assert!(matches!(err, CodecError::LengthOverrun { .. }));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = (1u64, 2u64).encode_to_vec();
+        assert!(<(u64, u64)>::decode_from_slice(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn varint_range_enforced() {
+        let bytes = (u64::from(u16::MAX) + 1).encode_to_vec();
+        assert!(matches!(
+            u16::decode_from_slice(&bytes),
+            Err(CodecError::VarintRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_is_order_preserving_for_small_magnitudes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_decode(zigzag_encode(-123_456)), -123_456);
+    }
+}

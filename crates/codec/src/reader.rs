@@ -1,0 +1,152 @@
+//! Cursor over received bytes with bounds-checked accessors.
+
+use crate::CodecError;
+
+/// Read cursor used by [`Decode`](crate::Decode) implementations.
+///
+/// All accessors are bounds-checked and return [`CodecError`] instead of
+/// panicking, since input bytes may come from corrupted parties.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if the input is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let slice = self.get_raw(1)?;
+        Ok(slice[0])
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a varint length prefix and then that many bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or if the claimed length exceeds the
+    /// remaining bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_varint()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::VarintRange {
+            type_name: "usize",
+            value: len,
+        })?;
+        if len > self.remaining() {
+            return Err(CodecError::LengthOverrun {
+                claimed: len,
+                available: self.remaining(),
+            });
+        }
+        self.get_raw(len)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::VarintOverflow`] if the varint does not fit in 64 bits,
+    /// or [`CodecError::UnexpectedEof`] on truncation.
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut result: u64 = 0;
+        for i in 0..10 {
+            let byte = self.get_u8()?;
+            let payload = u64::from(byte & 0x7f);
+            if i == 9 && payload > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            result |= payload << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_reported_with_counts() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.get_raw(3).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                needed: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes.
+        let bytes = [0xff; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_varint().unwrap_err(), CodecError::VarintOverflow);
+    }
+
+    #[test]
+    fn varint_64bit_boundary() {
+        // u64::MAX encodes as 9 * 0xff + 0x01.
+        let mut bytes = vec![0xff; 9];
+        bytes.push(0x01);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_varint().unwrap(), u64::MAX);
+
+        // Tenth byte with payload 2 would be the 65th bit.
+        let mut bytes = vec![0xff; 9];
+        bytes.push(0x02);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_varint().unwrap_err(), CodecError::VarintOverflow);
+    }
+
+    #[test]
+    fn get_bytes_rejects_forged_length() {
+        // varint 100 followed by only 1 byte.
+        let bytes = [100, 0];
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_bytes().unwrap_err(),
+            CodecError::LengthOverrun { .. }
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! Executable forms of the paper's Definition 1, used by tests, the
+//! experiment harness, and downstream users validating runs.
+
+/// The convex hull (here: range) of a set of honestly-held inputs.
+///
+/// Returns `None` for an empty set.
+pub fn convex_hull<T: Ord + Clone>(honest_inputs: &[T]) -> Option<(T, T)> {
+    Some((
+        honest_inputs.iter().min()?.clone(),
+        honest_inputs.iter().max()?.clone(),
+    ))
+}
+
+/// Checks the paper's **Agreement** property: all honest outputs equal.
+pub fn check_agreement<T: PartialEq>(honest_outputs: &[T]) -> bool {
+    honest_outputs.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Checks the paper's **Convex Validity** property: every honest output
+/// lies in the honest inputs' convex hull.
+///
+/// Returns `false` when there are no honest inputs (vacuously invalid —
+/// such a run proves nothing).
+pub fn check_convex_validity<T: Ord + Clone>(honest_outputs: &[T], honest_inputs: &[T]) -> bool {
+    let Some((lo, hi)) = convex_hull(honest_inputs) else {
+        return false;
+    };
+    honest_outputs.iter().all(|v| *v >= lo && *v <= hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_range() {
+        assert_eq!(convex_hull(&[3, 1, 2]), Some((1, 3)));
+        assert_eq!(convex_hull::<i32>(&[]), None);
+    }
+
+    #[test]
+    fn agreement_check() {
+        assert!(check_agreement(&[5, 5, 5]));
+        assert!(!check_agreement(&[5, 6]));
+        assert!(check_agreement::<i32>(&[]));
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(check_convex_validity(&[2, 2], &[1, 3]));
+        assert!(!check_convex_validity(&[4], &[1, 3]));
+        assert!(!check_convex_validity(&[1], &[]));
+    }
+}

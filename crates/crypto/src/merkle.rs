@@ -1,0 +1,308 @@
+//! Merkle-tree accumulator (paper §7, `MT.BUILD` / `MT.VERIFY`).
+//!
+//! The tree compresses a sequence of `n` leaves into one κ-bit root and
+//! yields, for each leaf, a witness of `O(κ · log n)` bits proving membership
+//! at a *specific index*. Leaf and interior hashes are domain-separated so a
+//! leaf hash cannot be replayed as an interior node (second-preimage
+//! hardening), and leaves are committed together with their index and the
+//! total leaf count, so a witness for one position cannot be replayed at
+//! another.
+
+use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::{sha256, Hash256, Sha256};
+
+const DOMAIN_LEAF: u8 = 0x00;
+const DOMAIN_NODE: u8 = 0x01;
+const DOMAIN_EMPTY: u8 = 0x02;
+
+/// A membership witness: the sibling hashes along the path from a leaf to the
+/// root, bottom-up (the paper's `wᵢ`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Total number of leaves in the tree (needed to recompute the shape).
+    leaf_count: u32,
+    /// Sibling hashes from the leaf level up to just below the root.
+    path: Vec<Hash256>,
+}
+
+impl Witness {
+    /// Number of leaves of the tree this witness belongs to.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count as usize
+    }
+
+    /// The sibling path (bottom-up).
+    pub fn path(&self) -> &[Hash256] {
+        &self.path
+    }
+}
+
+impl Encode for Witness {
+    fn encode(&self, w: &mut Writer) {
+        self.leaf_count.encode(w);
+        self.path.encode(w);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.leaf_count.encoded_len() + self.path.encoded_len()
+    }
+}
+
+impl Decode for Witness {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let leaf_count = u32::decode(r)?;
+        let path: Vec<Hash256> = Vec::decode(r)?;
+        // A tree over 2^32 leaves has a path of at most 32; reject absurd
+        // adversarial witnesses early.
+        if path.len() > 33 {
+            return Err(CodecError::Invalid("merkle path too long"));
+        }
+        Ok(Self { leaf_count, path })
+    }
+}
+
+/// A built Merkle tree over a sequence of byte-string leaves.
+///
+/// `MerkleTree::build(S)` is the paper's `MT.BUILD(S)`: it returns (via
+/// accessors) the root hash `z` and the witnesses `w₁ … wₙ`.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels[0] = leaf hashes (padded to a power of two), levels.last() = [root].
+    levels: Vec<Vec<Hash256>>,
+    leaf_count: usize,
+}
+
+impl MerkleTree {
+    /// Builds the tree over `leaves` (`MT.BUILD`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty or holds more than `u32::MAX` entries.
+    pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> Self {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        assert!(u32::try_from(leaves.len()).is_ok(), "too many leaves");
+        let leaf_count = leaves.len();
+        let width = leaf_count.next_power_of_two();
+
+        let mut level: Vec<Hash256> = Vec::with_capacity(width);
+        for (i, leaf) in leaves.iter().enumerate() {
+            level.push(hash_leaf(i as u32, leaf_count as u32, leaf.as_ref()));
+        }
+        level.resize(width, empty_leaf());
+
+        let mut levels = vec![level];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let next: Vec<Hash256> = prev
+                .chunks(2)
+                .map(|pair| hash_node(&pair[0], &pair[1]))
+                .collect();
+            levels.push(next);
+        }
+        Self { levels, leaf_count }
+    }
+
+    /// The root hash `z`.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of (real, unpadded) leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// The witness `wᵢ` for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.leaf_count()`.
+    pub fn witness(&self, index: usize) -> Witness {
+        assert!(index < self.leaf_count, "leaf index {index} out of range");
+        let mut path = Vec::with_capacity(self.levels.len().saturating_sub(1));
+        let mut pos = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[pos ^ 1]);
+            pos >>= 1;
+        }
+        Witness {
+            leaf_count: self.leaf_count as u32,
+            path,
+        }
+    }
+
+    /// All witnesses, in leaf order (the `w₁, …, wₙ` of `MT.BUILD`).
+    pub fn witnesses(&self) -> Vec<Witness> {
+        (0..self.leaf_count).map(|i| self.witness(i)).collect()
+    }
+
+    /// `MT.VERIFY(z, i, leaf, w)`: checks that `leaf` is committed at
+    /// position `index` of the tree with root `root`.
+    ///
+    /// Returns `false` (never panics) on any inconsistency, including
+    /// adversarial witnesses with wrong shapes.
+    pub fn verify<L: AsRef<[u8]>>(root: Hash256, index: usize, leaf: L, witness: &Witness) -> bool {
+        let leaf_count = witness.leaf_count as usize;
+        if leaf_count == 0 || index >= leaf_count {
+            return false;
+        }
+        let expected_depth = leaf_count.next_power_of_two().trailing_zeros() as usize;
+        if witness.path.len() != expected_depth {
+            return false;
+        }
+        let mut acc = hash_leaf(index as u32, witness.leaf_count, leaf.as_ref());
+        let mut pos = index;
+        for sibling in &witness.path {
+            acc = if pos & 1 == 0 {
+                hash_node(&acc, sibling)
+            } else {
+                hash_node(sibling, &acc)
+            };
+            pos >>= 1;
+        }
+        acc == root
+    }
+}
+
+fn hash_leaf(index: u32, leaf_count: u32, data: &[u8]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[DOMAIN_LEAF]);
+    h.update(&index.to_be_bytes());
+    h.update(&leaf_count.to_be_bytes());
+    h.update(data);
+    h.finalize()
+}
+
+fn hash_node(left: &Hash256, right: &Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[DOMAIN_NODE]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+fn empty_leaf() -> Hash256 {
+    sha256(&[DOMAIN_EMPTY])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn witnesses_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let data = leaves(n);
+            let tree = MerkleTree::build(&data);
+            for (i, leaf) in data.iter().enumerate() {
+                let w = tree.witness(i);
+                assert!(MerkleTree::verify(tree.root(), i, leaf, &w), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_rejected() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(&data);
+        let w = tree.witness(3);
+        assert!(!MerkleTree::verify(tree.root(), 3, b"forged", &w));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(&data);
+        let w = tree.witness(3);
+        assert!(!MerkleTree::verify(tree.root(), 4, &data[3], &w));
+        // Even with the matching leaf content of the other index.
+        assert!(!MerkleTree::verify(tree.root(), 4, &data[4], &w));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let data = leaves(5);
+        let tree = MerkleTree::build(&data);
+        let other = MerkleTree::build(&leaves(6));
+        let w = tree.witness(0);
+        assert!(!MerkleTree::verify(other.root(), 0, &data[0], &w));
+    }
+
+    #[test]
+    fn malformed_witness_shapes_rejected() {
+        let data = leaves(4);
+        let tree = MerkleTree::build(&data);
+        let mut w = tree.witness(1);
+        w.path.push(Hash256::default());
+        assert!(!MerkleTree::verify(tree.root(), 1, &data[1], &w));
+        let mut w2 = tree.witness(1);
+        w2.path.pop();
+        assert!(!MerkleTree::verify(tree.root(), 1, &data[1], &w2));
+        let w3 = Witness {
+            leaf_count: 0,
+            path: vec![],
+        };
+        assert!(!MerkleTree::verify(tree.root(), 0, &data[0], &w3));
+    }
+
+    #[test]
+    fn duplicate_leaves_bind_to_positions() {
+        // Identical leaf contents at two positions still yield
+        // position-specific witnesses.
+        let data = vec![b"same".to_vec(), b"same".to_vec()];
+        let tree = MerkleTree::build(&data);
+        let w0 = tree.witness(0);
+        assert!(MerkleTree::verify(tree.root(), 0, &data[0], &w0));
+        assert!(!MerkleTree::verify(tree.root(), 1, &data[1], &w0));
+    }
+
+    #[test]
+    fn leaf_count_is_committed() {
+        // A 2-leaf tree and the first two leaves of a 3-leaf tree differ.
+        let t2 = MerkleTree::build(&leaves(2));
+        let t3 = MerkleTree::build(&leaves(3));
+        assert_ne!(t2.root(), t3.root());
+        let w = t2.witness(0);
+        assert!(!MerkleTree::verify(t3.root(), 0, &leaves(3)[0], &w));
+    }
+
+    #[test]
+    fn witness_codec_round_trip() {
+        let tree = MerkleTree::build(&leaves(9));
+        let w = tree.witness(5);
+        let bytes = ca_codec::Encode::encode_to_vec(&w);
+        let back = <Witness as ca_codec::Decode>::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn witness_size_is_logarithmic() {
+        use ca_codec::Encode;
+        let t16 = MerkleTree::build(&leaves(16));
+        let t256 = MerkleTree::build(&leaves(256));
+        let s16 = t16.witness(0).encode_to_vec().len();
+        let s256 = t256.witness(0).encode_to_vec().len();
+        // 4 extra levels of 32-byte hashes.
+        assert_eq!(s256 - s16, 4 * 32 + 1); // +1 varint growth for leaf_count
+    }
+
+    proptest! {
+        #[test]
+        fn prop_build_verify(n in 1usize..40, tamper in any::<u64>()) {
+            let data: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; (i % 7) + 1]).collect();
+            let tree = MerkleTree::build(&data);
+            let idx = (tamper as usize) % n;
+            let w = tree.witness(idx);
+            prop_assert!(MerkleTree::verify(tree.root(), idx, &data[idx], &w));
+            let mut bad = data[idx].clone();
+            bad[0] ^= 1;
+            prop_assert!(!MerkleTree::verify(tree.root(), idx, &bad, &w));
+        }
+    }
+}

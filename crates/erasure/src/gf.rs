@@ -1,0 +1,237 @@
+//! The Galois field `GF(2^16)`.
+//!
+//! Arithmetic uses full logarithm/antilogarithm tables built once at first
+//! use (`2 × 128 KiB`), giving O(1) multiply/divide. The field is generated
+//! by the primitive polynomial `x^16 + x^12 + x^3 + x + 1` (0x1100B).
+//!
+//! The paper's RS codewords are "elements of a Galois Field `GF(2^a)` with
+//! `n ≤ 2^a − 1`" — with `a = 16` this supports up to 65 535 parties.
+
+use std::sync::OnceLock;
+
+/// Primitive polynomial for GF(2^16): x^16 + x^12 + x^3 + x + 1.
+const PRIMITIVE_POLY: u32 = 0x1100B;
+
+/// Number of nonzero field elements.
+pub const ORDER: usize = (1 << 16) - 1;
+
+struct Tables {
+    /// exp[i] = g^i for i in 0..2*ORDER (doubled to skip a modulo).
+    exp: Vec<u16>,
+    /// log[x] = i with g^i = x, for x != 0.
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * ORDER];
+        let mut log = vec![0u16; 1 << 16];
+        let mut x: u32 = 1;
+        for i in 0..ORDER {
+            exp[i] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in ORDER..2 * ORDER {
+            exp[i] = exp[i - ORDER];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of `GF(2^16)`.
+///
+/// Addition is XOR; multiplication/division go through the log tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf(pub u16);
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// The generator `g` of the multiplicative group.
+    pub fn generator() -> Gf {
+        Gf(tables().exp[1])
+    }
+
+    /// `g^i`.
+    pub fn alpha(i: usize) -> Gf {
+        Gf(tables().exp[i % ORDER])
+    }
+
+    /// Field addition (XOR; also subtraction in characteristic 2).
+    #[inline]
+    pub fn add(self, other: Gf) -> Gf {
+        Gf(self.0 ^ other.0)
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(self, other: Gf) -> Gf {
+        if self.0 == 0 || other.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[other.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[inline]
+    pub fn div(self, other: Gf) -> Gf {
+        assert!(other.0 != 0, "division by zero in GF(2^16)");
+        if self.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx =
+            t.log[self.0 as usize] as usize + ORDER - t.log[other.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn inv(self) -> Gf {
+        Gf::ONE.div(self)
+    }
+
+    /// Exponentiation by squaring (used only in tests; encoding uses the
+    /// tables directly).
+    pub fn pow(self, mut e: u64) -> Gf {
+        let mut base = self;
+        let mut acc = Gf::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+/// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + …` at `x` (Horner).
+pub fn poly_eval(coeffs: &[Gf], x: Gf) -> Gf {
+    let mut acc = Gf::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc.mul(x).add(c);
+    }
+    acc
+}
+
+/// Lagrange interpolation: given distinct points `(xᵢ, yᵢ)`, evaluates the
+/// unique polynomial of degree `< points.len()` through them at `x`.
+///
+/// # Panics
+///
+/// Panics if two `xᵢ` coincide.
+pub fn lagrange_eval(points: &[(Gf, Gf)], x: Gf) -> Gf {
+    let mut acc = Gf::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // Early exit: interpolating exactly at a sample point.
+        if xi == x {
+            return yi;
+        }
+        let mut num = Gf::ONE;
+        let mut den = Gf::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(xi != xj, "duplicate x-coordinate in interpolation");
+            num = num.mul(x.add(xj)); // (x − xj) = (x + xj) in char 2
+            den = den.mul(xi.add(xj));
+        }
+        acc = acc.add(yi.mul(num.div(den)));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        let a = Gf(0x1234);
+        assert_eq!(a.add(Gf::ZERO), a);
+        assert_eq!(a.mul(Gf::ONE), a);
+        assert_eq!(a.mul(Gf::ZERO), Gf::ZERO);
+        assert_eq!(a.add(a), Gf::ZERO); // characteristic 2
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let g = Gf::generator();
+        assert_eq!(g.pow(ORDER as u64), Gf::ONE);
+        // Order divides 2^16-1 = 3 · 5 · 17 · 257; check proper divisors.
+        for d in [3u64, 5, 17, 257] {
+            assert_ne!(g.pow(ORDER as u64 / d), Gf::ONE, "divisor {d}");
+        }
+    }
+
+    #[test]
+    fn alpha_points_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(Gf::alpha(i)), "alpha({i}) repeats");
+        }
+    }
+
+    #[test]
+    fn poly_eval_constant_and_linear() {
+        assert_eq!(poly_eval(&[Gf(7)], Gf(99)), Gf(7));
+        // p(x) = 3 + 2x at x=1 → 3 ^ 2 = 1.
+        assert_eq!(poly_eval(&[Gf(3), Gf(2)], Gf::ONE), Gf(1));
+    }
+
+    #[test]
+    fn lagrange_recovers_polynomial() {
+        let coeffs = [Gf(5), Gf(17), Gf(300), Gf(9)];
+        let points: Vec<(Gf, Gf)> = (1..=4)
+            .map(|i| (Gf::alpha(i), poly_eval(&coeffs, Gf::alpha(i))))
+            .collect();
+        for x in [Gf::ZERO, Gf(1), Gf(12345), Gf::alpha(2)] {
+            assert_eq!(lagrange_eval(&points, x), poly_eval(&coeffs, x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+            let (a, b, c) = (Gf(a), Gf(b), Gf(c));
+            prop_assert_eq!(a.add(b), b.add(a));
+            prop_assert_eq!(a.mul(b), b.mul(a));
+            prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        }
+
+        #[test]
+        fn prop_inverse(a in 1u16..) {
+            let a = Gf(a);
+            prop_assert_eq!(a.mul(a.inv()), Gf::ONE);
+            prop_assert_eq!(a.div(a), Gf::ONE);
+        }
+
+        #[test]
+        fn prop_div_is_mul_inv(a in any::<u16>(), b in 1u16..) {
+            let (a, b) = (Gf(a), Gf(b));
+            prop_assert_eq!(a.div(b), a.mul(b.inv()));
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Systematic Reed–Solomon erasure coding (`RS.ENCODE` / `RS.DECODE`, §7).
+
+use std::error::Error;
+use std::fmt;
+
+use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::gf::{Gf, ORDER};
+
+/// One of the `n` codewords produced by [`ReedSolomon::encode`]
+/// (the paper's `sᵢ`).
+///
+/// A share carries one `GF(2^16)` symbol per data stripe; its byte size is
+/// `O(|payload| / k)`, i.e. `O(ℓ/n)` bits for the protocol's `k = n − t`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Share {
+    symbols: Vec<Gf>,
+}
+
+impl Share {
+    /// Number of stripes (symbols) in this share.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the share is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for Share {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.symbols.len() as u64);
+        for s in &self.symbols {
+            w.put_raw(&s.0.to_be_bytes());
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        Writer::varint_len(self.symbols.len() as u64) + 2 * self.symbols.len()
+    }
+}
+
+impl Decode for Share {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = usize::decode(r)?;
+        if len.saturating_mul(2) > r.remaining() {
+            return Err(CodecError::LengthOverrun {
+                claimed: 2 * len,
+                available: r.remaining(),
+            });
+        }
+        let mut symbols = Vec::with_capacity(len);
+        for _ in 0..len {
+            let raw = r.get_raw(2)?;
+            symbols.push(Gf(u16::from_be_bytes([raw[0], raw[1]])));
+        }
+        Ok(Share { symbols })
+    }
+}
+
+/// Errors from Reed–Solomon configuration or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RsError {
+    /// `(n, k)` outside `1 ≤ k ≤ n ≤ 2^16 − 1`.
+    InvalidParameters {
+        /// Total shares requested.
+        n: usize,
+        /// Threshold requested.
+        k: usize,
+    },
+    /// Fewer than `k` distinct, in-range shares were provided.
+    NotEnoughShares {
+        /// Distinct usable shares seen.
+        got: usize,
+        /// Threshold `k`.
+        needed: usize,
+    },
+    /// A share index was `≥ n`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// Shares disagree on the stripe count.
+    LengthMismatch,
+    /// The reconstructed payload framing was invalid (corrupt shares that
+    /// nevertheless passed external checks, or inconsistent share subsets).
+    BadPayload,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::InvalidParameters { n, k } => {
+                write!(f, "invalid RS parameters n = {n}, k = {k}")
+            }
+            RsError::NotEnoughShares { got, needed } => {
+                write!(f, "not enough shares: got {got}, need {needed}")
+            }
+            RsError::IndexOutOfRange { index } => write!(f, "share index {index} out of range"),
+            RsError::LengthMismatch => write!(f, "shares have differing lengths"),
+            RsError::BadPayload => write!(f, "reconstructed payload is malformed"),
+        }
+    }
+}
+
+impl Error for RsError {}
+
+/// A systematic `(n, k)` Reed–Solomon code over `GF(2^16)`.
+///
+/// The data polynomial `p` of degree `< k` is defined by its evaluations at
+/// `α₀ … α_{k−1}` (the data symbols); share `i` is `p(αᵢ)`. Any `k` distinct
+/// shares determine `p`, hence the data — this is `RS.DECODE` from `n − t`
+/// codewords with `k = n − t`.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+    /// parity_matrix[row][col] = L_col(α_{k+row}) where L is the Lagrange
+    /// basis over the data points α₀ … α_{k−1}.
+    parity_matrix: Vec<Vec<Gf>>,
+}
+
+impl ReedSolomon {
+    /// Creates a code with `n` total shares and threshold `k`.
+    ///
+    /// The paper's `Π_ℓBA+` uses `k = n − t`.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::InvalidParameters`] unless `1 ≤ k ≤ n ≤ 2^16 − 1`.
+    pub fn new(n: usize, k: usize) -> Result<Self, RsError> {
+        if k == 0 || k > n || n > ORDER {
+            return Err(RsError::InvalidParameters { n, k });
+        }
+        let data_points: Vec<Gf> = (0..k).map(Gf::alpha).collect();
+        let parity_matrix = (k..n)
+            .map(|row| lagrange_row(&data_points, Gf::alpha(row)))
+            .collect();
+        Ok(Self { n, k, parity_matrix })
+    }
+
+    /// Total number of shares `n`.
+    pub fn total_shares(&self) -> usize {
+        self.n
+    }
+
+    /// Reconstruction threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.k
+    }
+
+    /// `RS.ENCODE(v)`: splits `data` into `n` shares, any `k` of which
+    /// reconstruct it.
+    pub fn encode(&self, data: &[u8]) -> Vec<Share> {
+        // Frame the payload with its length so decode can strip padding.
+        let mut payload = Writer::with_capacity(data.len() + 9);
+        payload.put_varint(data.len() as u64);
+        payload.put_raw(data);
+        let mut payload = payload.into_vec();
+        let stripe_bytes = 2 * self.k;
+        payload.resize(payload.len().div_ceil(stripe_bytes) * stripe_bytes, 0);
+        let stripes = payload.len() / stripe_bytes;
+
+        let mut shares = vec![
+            Share {
+                symbols: Vec::with_capacity(stripes)
+            };
+            self.n
+        ];
+        let mut data_syms = vec![Gf::ZERO; self.k];
+        for s in 0..stripes {
+            let base = s * stripe_bytes;
+            for (j, sym) in data_syms.iter_mut().enumerate() {
+                *sym = Gf(u16::from_be_bytes([
+                    payload[base + 2 * j],
+                    payload[base + 2 * j + 1],
+                ]));
+            }
+            // Systematic part: shares 0..k carry the data symbols.
+            for j in 0..self.k {
+                shares[j].symbols.push(data_syms[j]);
+            }
+            // Parity part: evaluate p at α_k … α_{n−1}.
+            for (row, share) in shares[self.k..].iter_mut().enumerate() {
+                let mut acc = Gf::ZERO;
+                for (c, &d) in data_syms.iter().enumerate() {
+                    acc = acc.add(self.parity_matrix[row][c].mul(d));
+                }
+                share.symbols.push(acc);
+            }
+        }
+        shares
+    }
+
+    /// `RS.DECODE`: reconstructs the original data from at least `k` shares
+    /// given as `(index, share)` pairs (duplicates allowed, first wins).
+    ///
+    /// # Errors
+    ///
+    /// See [`RsError`] — too few shares, bad indices, inconsistent lengths,
+    /// or malformed payload framing.
+    pub fn decode(&self, shares: &[(usize, Share)]) -> Result<Vec<u8>, RsError> {
+        let mut chosen: Vec<Option<&Share>> = vec![None; self.n];
+        let mut distinct = 0;
+        for (idx, share) in shares {
+            if *idx >= self.n {
+                return Err(RsError::IndexOutOfRange { index: *idx });
+            }
+            if chosen[*idx].is_none() {
+                chosen[*idx] = Some(share);
+                distinct += 1;
+            }
+        }
+        if distinct < self.k {
+            return Err(RsError::NotEnoughShares {
+                got: distinct,
+                needed: self.k,
+            });
+        }
+        let picked: Vec<(usize, &Share)> = chosen
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (i, s)))
+            .take(self.k)
+            .collect();
+        let stripes = picked[0].1.symbols.len();
+        if picked.iter().any(|(_, s)| s.symbols.len() != stripes) {
+            return Err(RsError::LengthMismatch);
+        }
+
+        // Precompute, for each data position j, the Lagrange coefficients of
+        // the picked evaluation points at α_j. Fast path: a picked share at
+        // index j < k *is* the data symbol (systematic code), but using the
+        // matrix keeps the code uniform; we special-case only availability.
+        let xs: Vec<Gf> = picked.iter().map(|(i, _)| Gf::alpha(*i)).collect();
+        let mut coeff_rows: Vec<CoeffRow> = Vec::with_capacity(self.k);
+        for j in 0..self.k {
+            if let Some(pos) = picked.iter().position(|(i, _)| *i == j) {
+                coeff_rows.push(CoeffRow::Direct(pos));
+            } else {
+                coeff_rows.push(CoeffRow::Combine(lagrange_row(&xs, Gf::alpha(j))));
+            }
+        }
+
+        let stripe_bytes = 2 * self.k;
+        let mut payload = vec![0u8; stripes * stripe_bytes];
+        for s in 0..stripes {
+            for (j, row) in coeff_rows.iter().enumerate() {
+                let sym = match row {
+                    CoeffRow::Direct(pos) => picked[*pos].1.symbols[s],
+                    CoeffRow::Combine(coeffs) => {
+                        let mut acc = Gf::ZERO;
+                        for (c, (_, share)) in picked.iter().enumerate() {
+                            acc = acc.add(coeffs[c].mul(share.symbols[s]));
+                        }
+                        acc
+                    }
+                };
+                let be = sym.0.to_be_bytes();
+                payload[s * stripe_bytes + 2 * j] = be[0];
+                payload[s * stripe_bytes + 2 * j + 1] = be[1];
+            }
+        }
+
+        // Strip framing.
+        let mut r = Reader::new(&payload);
+        let len = r.get_varint().map_err(|_| RsError::BadPayload)?;
+        let len = usize::try_from(len).map_err(|_| RsError::BadPayload)?;
+        let data = r.get_raw(len).map_err(|_| RsError::BadPayload)?.to_vec();
+        // Remaining bytes must be zero padding.
+        let consumed = payload.len() - r.remaining();
+        if payload[consumed..].iter().any(|&b| b != 0) {
+            return Err(RsError::BadPayload);
+        }
+        Ok(data)
+    }
+}
+
+enum CoeffRow {
+    /// The data symbol is directly present at this position of the picked set.
+    Direct(usize),
+    /// Linear combination of the picked symbols with these coefficients.
+    Combine(Vec<Gf>),
+}
+
+/// Lagrange basis evaluations: `out[i] = Lᵢ(x)` over the nodes `xs`.
+fn lagrange_row(xs: &[Gf], x: Gf) -> Vec<Gf> {
+    (0..xs.len())
+        .map(|i| {
+            let mut num = Gf::ONE;
+            let mut den = Gf::ONE;
+            for (j, &xj) in xs.iter().enumerate() {
+                if i != j {
+                    num = num.mul(x.add(xj));
+                    den = den.mul(xs[i].add(xj));
+                }
+            }
+            num.div(den)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_all_shares() {
+        let rs = ReedSolomon::new(7, 5).unwrap();
+        let data = b"hello reed-solomon";
+        let shares = rs.encode(data);
+        assert_eq!(shares.len(), 7);
+        let pairs: Vec<_> = shares.into_iter().enumerate().collect();
+        assert_eq!(rs.decode(&pairs).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_every_k_subset() {
+        let rs = ReedSolomon::new(6, 4).unwrap();
+        let data: Vec<u8> = (0..57).collect();
+        let shares = rs.encode(&data);
+        // All C(6,4) subsets.
+        for a in 0..6 {
+            for b in a + 1..6 {
+                for c in b + 1..6 {
+                    for d in c + 1..6 {
+                        let subset: Vec<_> = [a, b, c, d]
+                            .iter()
+                            .map(|&i| (i, shares[i].clone()))
+                            .collect();
+                        assert_eq!(rs.decode(&subset).unwrap(), data, "{a}{b}{c}{d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_data_round_trips() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let shares = rs.encode(b"");
+        let pairs: Vec<_> = shares.into_iter().enumerate().skip(1).collect();
+        assert_eq!(rs.decode(&pairs).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let shares = rs.encode(b"abc");
+        let pairs: Vec<_> = shares.into_iter().enumerate().take(2).collect();
+        assert!(matches!(
+            rs.decode(&pairs),
+            Err(RsError::NotEnoughShares { got: 2, needed: 3 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_indices_do_not_count_twice() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let shares = rs.encode(b"abc");
+        let pairs = vec![
+            (0, shares[0].clone()),
+            (0, shares[0].clone()),
+            (1, shares[1].clone()),
+        ];
+        assert!(matches!(rs.decode(&pairs), Err(RsError::NotEnoughShares { .. })));
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let shares = rs.encode(b"abc");
+        let pairs = vec![(9, shares[0].clone())];
+        assert!(matches!(
+            rs.decode(&pairs),
+            Err(RsError::IndexOutOfRange { index: 9 })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ReedSolomon::new(0, 0).is_err());
+        assert!(ReedSolomon::new(3, 4).is_err());
+        assert!(ReedSolomon::new(1 << 16, 5).is_err());
+        assert!(ReedSolomon::new(65535, 5).is_ok());
+    }
+
+    #[test]
+    fn share_size_is_data_over_k() {
+        let rs = ReedSolomon::new(31, 21).unwrap();
+        let data = vec![0xaa; 100_000];
+        let shares = rs.encode(&data);
+        let share_bytes = shares[0].byte_len();
+        // ~ 100_000 / 21 ≈ 4762 plus framing slack.
+        assert!(share_bytes < 100_000 / 21 + 64, "share too big: {share_bytes}");
+    }
+
+    #[test]
+    fn determinism() {
+        let rs = ReedSolomon::new(7, 5).unwrap();
+        assert_eq!(rs.encode(b"same input"), rs.encode(b"same input"));
+    }
+
+    #[test]
+    fn share_codec_round_trip() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let share = rs.encode(b"codec me").remove(3);
+        let bytes = share.encode_to_vec();
+        assert_eq!(Share::decode_from_slice(&bytes).unwrap(), share);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_round_trip_random_subsets(
+            data in proptest::collection::vec(any::<u8>(), 0..500),
+            n in 4usize..20,
+            seed in any::<u64>(),
+        ) {
+            let t = (n - 1) / 3;
+            let k = n - t;
+            let rs = ReedSolomon::new(n, k).unwrap();
+            let shares = rs.encode(&data);
+            // Deterministic pseudo-random k-subset from the seed.
+            let mut indices: Vec<usize> = (0..n).collect();
+            let mut s = seed;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                indices.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let subset: Vec<_> = indices[..k].iter().map(|&i| (i, shares[i].clone())).collect();
+            prop_assert_eq!(rs.decode(&subset).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_reencode_matches(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            // decode → encode must reproduce the identical share vector
+            // (determinism is what lets Π_ℓBA+ cross-check codewords).
+            let rs = ReedSolomon::new(7, 5).unwrap();
+            let shares = rs.encode(&data);
+            let subset: Vec<_> = shares.iter().cloned().enumerate().skip(2).collect();
+            let decoded = rs.decode(&subset).unwrap();
+            prop_assert_eq!(rs.encode(&decoded), shares);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The channel abstraction protocol code is written against.
+
+use bytes::Bytes;
+use ca_codec::Encode;
+
+use crate::{Inbox, PartyId};
+
+/// A party's view of the synchronous network (paper §2).
+///
+/// Protocol functions take `&mut dyn Comm`, which lets the same code run on
+/// the lock-step simulator ([`crate::Sim`]) and on the TCP runtime in
+/// `ca-runtime`.
+///
+/// # Round semantics
+///
+/// Sends are buffered; [`Comm::next_round`] flushes them, waits for the round
+/// boundary (`Δ` in the real world, the barrier in the simulator), and
+/// returns everything delivered this round. All honest parties of a
+/// deterministic synchronous protocol call `next_round` the same number of
+/// times, which is what keeps instances aligned without message tags.
+pub trait Comm {
+    /// Number of parties `n`.
+    fn n(&self) -> usize;
+
+    /// Corruption budget `t` (`t < n/3`).
+    fn t(&self) -> usize;
+
+    /// This party's identity.
+    fn me(&self) -> PartyId;
+
+    /// Buffers `payload` for delivery to `to` at the next round boundary.
+    ///
+    /// Sending to oneself is allowed; it is delivered like any other message
+    /// but does not count as network communication.
+    fn send_bytes(&mut self, to: PartyId, payload: Bytes);
+
+    /// Flushes buffered sends, advances to the next round, and returns the
+    /// messages delivered to this party.
+    fn next_round(&mut self) -> Inbox;
+
+    /// Enters a named metrics scope (bits/rounds are attributed to the
+    /// innermost scope). Prefer [`CommExt::scoped`].
+    fn push_scope(&mut self, name: &str);
+
+    /// Leaves the innermost metrics scope.
+    fn pop_scope(&mut self);
+}
+
+/// Ergonomic extension methods available on every [`Comm`]
+/// (including `&mut dyn Comm`).
+pub trait CommExt: Comm {
+    /// Encodes and sends `msg` to `to`.
+    fn send<T: Encode + ?Sized>(&mut self, to: PartyId, msg: &T) {
+        self.send_bytes(to, Bytes::from(msg.encode_to_vec()));
+    }
+
+    /// Encodes and sends `msg` to every party (including self — the paper's
+    /// "send to all parties").
+    fn send_all<T: Encode + ?Sized>(&mut self, msg: &T) {
+        let payload = Bytes::from(msg.encode_to_vec());
+        for p in 0..self.n() {
+            self.send_bytes(PartyId(p), payload.clone());
+        }
+    }
+
+    /// `send_all(msg)` followed by `next_round()`: the ubiquitous all-to-all
+    /// exchange step.
+    fn exchange<T: Encode + ?Sized>(&mut self, msg: &T) -> Inbox {
+        self.send_all(msg);
+        self.next_round()
+    }
+
+    /// Runs `f` inside the metrics scope `name`.
+    fn scoped<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_scope(name);
+        let out = f(self);
+        self.pop_scope();
+        out
+    }
+
+    /// `n − t`: the guaranteed number of honest parties (a quorum).
+    fn quorum(&self) -> usize {
+        self.n() - self.t()
+    }
+}
+
+impl<C: Comm + ?Sized> CommExt for C {}

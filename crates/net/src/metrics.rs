@@ -1,0 +1,140 @@
+//! Communication and round accounting.
+//!
+//! The paper bounds `BITSℓ(Π)` — the worst-case total number of bits sent by
+//! *honest* parties — and `ROUNDSℓ(Π)`. The simulator measures both exactly,
+//! attributed to hierarchical protocol scopes (e.g.
+//! `"pi_n/find_prefix/lba+"`), which is what powers the per-subprotocol
+//! breakdown experiment (F3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters for one scope path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScopeMetrics {
+    /// Bits sent by honest parties while this scope was innermost.
+    pub honest_bits: u64,
+    /// Messages sent by honest parties (excluding self-delivery).
+    pub honest_msgs: u64,
+    /// Rounds spent while this scope was innermost.
+    pub rounds: u64,
+}
+
+impl ScopeMetrics {
+    fn absorb(&mut self, other: &ScopeMetrics) {
+        self.honest_bits += other.honest_bits;
+        self.honest_msgs += other.honest_msgs;
+        self.rounds += other.rounds;
+    }
+}
+
+/// Aggregate measurements of one protocol run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total bits sent by honest parties: the paper's `BITSℓ(Π)`.
+    pub honest_bits: u64,
+    /// Total messages sent by honest parties (excluding self-delivery).
+    pub honest_msgs: u64,
+    /// Bits sent by corrupted parties (informational; not part of `BITSℓ`).
+    pub adversary_bits: u64,
+    /// Rounds executed: the paper's `ROUNDSℓ(Π)`.
+    pub rounds: u64,
+    /// Per-scope breakdown, keyed by `/`-joined scope path.
+    pub per_scope: BTreeMap<String, ScopeMetrics>,
+}
+
+impl Metrics {
+    /// Records an honest send of `bytes` payload bytes under `scope`.
+    pub fn record_honest_send(&mut self, scope: &str, bytes: usize) {
+        let bits = 8 * bytes as u64;
+        self.honest_bits += bits;
+        self.honest_msgs += 1;
+        let entry = self.per_scope.entry(scope.to_owned()).or_default();
+        entry.honest_bits += bits;
+        entry.honest_msgs += 1;
+    }
+
+    /// Records a corrupted-party send.
+    pub fn record_adversary_send(&mut self, bytes: usize) {
+        self.adversary_bits += 8 * bytes as u64;
+    }
+
+    /// Records one completed round attributed to `scope`.
+    pub fn record_round(&mut self, scope: &str) {
+        self.rounds += 1;
+        self.per_scope.entry(scope.to_owned()).or_default().rounds += 1;
+    }
+
+    /// Sums counters over every scope whose path starts with `prefix`
+    /// (path components compared exactly).
+    pub fn scope_subtree(&self, prefix: &str) -> ScopeMetrics {
+        let mut total = ScopeMetrics::default();
+        for (path, m) in &self.per_scope {
+            if path == prefix || path.starts_with(&format!("{prefix}/")) {
+                total.absorb(m);
+            }
+        }
+        total
+    }
+
+    /// Merges another run's metrics into this one (used by multi-run sweeps).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.honest_bits += other.honest_bits;
+        self.honest_msgs += other.honest_msgs;
+        self.adversary_bits += other.adversary_bits;
+        self.rounds += other.rounds;
+        for (path, m) in &other.per_scope {
+            self.per_scope.entry(path.clone()).or_default().absorb(m);
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} rounds, {} honest bits ({} msgs), {} adversary bits",
+            self.rounds, self.honest_bits, self.honest_msgs, self.adversary_bits
+        )?;
+        for (path, m) in &self.per_scope {
+            writeln!(
+                f,
+                "  {:<40} {:>12} bits {:>8} msgs {:>6} rounds",
+                path, m.honest_bits, m.honest_msgs, m.rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_subtree_sums_children() {
+        let mut m = Metrics::default();
+        m.record_honest_send("a/b", 10);
+        m.record_honest_send("a/c", 5);
+        m.record_honest_send("a", 1);
+        m.record_honest_send("ab", 100); // must NOT match prefix "a"
+        let sub = m.scope_subtree("a");
+        assert_eq!(sub.honest_bits, 8 * 16);
+        assert_eq!(sub.honest_msgs, 3);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Metrics::default();
+        a.record_honest_send("x", 1);
+        a.record_round("x");
+        let mut b = Metrics::default();
+        b.record_honest_send("x", 2);
+        b.record_adversary_send(4);
+        a.absorb(&b);
+        assert_eq!(a.honest_bits, 24);
+        assert_eq!(a.adversary_bits, 32);
+        assert_eq!(a.per_scope["x"].honest_msgs, 2);
+        assert_eq!(a.rounds, 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Parallel composition of synchronous sub-protocols.
+//!
+//! The paper's baseline "CA via `n` broadcasts" (§1) assumes the `n`
+//! broadcast instances run *in parallel*: one physical round carries one
+//! round of every instance, so the composition costs the max of the
+//! instances' round counts, not the sum. This module provides that
+//! combinator for coroutine-style protocol code:
+//!
+//! [`run_parallel`] starts `k` logical instances of protocol code, each
+//! seeing its own [`Comm`]; their sends are tagged with the instance index
+//! and multiplexed onto the parent channel, and all instances advance
+//! rounds in lock step (an instance that finishes early simply stops
+//! contributing messages).
+//!
+//! Correctness relies on the same fact the simulator relies on globally:
+//! honest parties of a deterministic synchronous protocol call
+//! `next_round` in lock step, so the `i`-th physical round carries the
+//! `i`-th logical round of every live instance, and tagging by instance
+//! index is enough to demultiplex.
+
+use std::sync::mpsc;
+
+use bytes::Bytes;
+use ca_codec::{Decode, Encode, Reader, Writer};
+
+use crate::{Comm, Inbox, PartyId};
+
+/// Wire envelope for multiplexed sub-instance messages.
+struct Tagged {
+    instance: u32,
+    payload: Vec<u8>,
+}
+
+impl Encode for Tagged {
+    fn encode(&self, w: &mut Writer) {
+        self.instance.encode(w);
+        w.put_raw(&self.payload);
+    }
+    fn encoded_len(&self) -> usize {
+        Encode::encoded_len(&self.instance) + self.payload.len()
+    }
+}
+
+impl Decode for Tagged {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ca_codec::CodecError> {
+        let instance = u32::decode(r)?;
+        let payload = r.get_raw(r.remaining())?.to_vec();
+        Ok(Tagged { instance, payload })
+    }
+}
+
+enum ToParent {
+    Round { sends: Vec<(PartyId, Bytes)> },
+    Done { sends: Vec<(PartyId, Bytes)> },
+}
+
+/// The per-instance `Comm` handed to sub-protocol closures.
+struct SubComm {
+    n: usize,
+    t: usize,
+    me: PartyId,
+    pending: Vec<(PartyId, Bytes)>,
+    to_parent: mpsc::Sender<(usize, ToParent)>,
+    from_parent: mpsc::Receiver<Inbox>,
+    index: usize,
+}
+
+impl Comm for SubComm {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn t(&self) -> usize {
+        self.t
+    }
+    fn me(&self) -> PartyId {
+        self.me
+    }
+    fn send_bytes(&mut self, to: PartyId, payload: Bytes) {
+        self.pending.push((to, payload));
+    }
+    fn next_round(&mut self) -> Inbox {
+        let sends = std::mem::take(&mut self.pending);
+        self.to_parent
+            .send((self.index, ToParent::Round { sends }))
+            .expect("parent alive");
+        self.from_parent.recv().expect("parent alive")
+    }
+    fn push_scope(&mut self, _name: &str) {}
+    fn pop_scope(&mut self) {}
+}
+
+/// Runs `k` logical instances of `body` in parallel over one physical
+/// [`Comm`], returning their outputs in instance order.
+///
+/// Each instance `i` runs `body(sub_ctx, i)` on its own thread with a
+/// virtual channel; one physical round carries one logical round of every
+/// still-running instance. Instances of a deterministic synchronous
+/// protocol stay aligned across honest parties, exactly like the top-level
+/// protocol does.
+///
+/// The physical communication equals the sum of the instances' logical
+/// communication plus an `O(1)`-byte instance tag per message; the physical
+/// round count is the max (not the sum) of the instances' round counts.
+///
+/// # Examples
+///
+/// ```
+/// use ca_net::{run_parallel, CommExt, Sim};
+///
+/// // Three all-to-all exchanges sharing ONE physical round.
+/// let report = Sim::new(3).run(|ctx, _id| {
+///     run_parallel(ctx, 3, |sub, idx| {
+///         sub.exchange(&(idx as u64)).decode_each::<u64>().len()
+///     })
+/// });
+/// assert_eq!(report.metrics.rounds, 1);
+/// assert!(report.honest_outputs().iter().all(|o| **o == vec![3, 3, 3]));
+/// ```
+pub fn run_parallel<O, F>(ctx: &mut dyn Comm, k: usize, body: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(&mut dyn Comm, usize) -> O + Sync,
+{
+    assert!(k > 0, "need at least one instance");
+    assert!(u32::try_from(k).is_ok(), "too many instances");
+    let n = ctx.n();
+    let t = ctx.t();
+    let me = ctx.me();
+
+    std::thread::scope(|scope| {
+        let (to_parent_tx, to_parent_rx) = mpsc::channel::<(usize, ToParent)>();
+        let mut inbox_txs = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+        for index in 0..k {
+            let (inbox_tx, inbox_rx) = mpsc::channel::<Inbox>();
+            inbox_txs.push(inbox_tx);
+            let to_parent = to_parent_tx.clone();
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let mut sub = SubComm {
+                    n,
+                    t,
+                    me,
+                    pending: Vec::new(),
+                    to_parent: to_parent.clone(),
+                    from_parent: inbox_rx,
+                    index,
+                };
+                let out = body(&mut sub, index);
+                // Sign off, flushing any trailing sends in the same message
+                // so the parent's cycle accounting stays deterministic.
+                let sends = std::mem::take(&mut sub.pending);
+                let _ = to_parent.send((index, ToParent::Done { sends }));
+                out
+            }));
+        }
+        drop(to_parent_tx);
+
+        let mut live: Vec<bool> = vec![true; k];
+
+        while live.iter().any(|l| *l) {
+            // Collect, from every live instance, either a Round submission
+            // or its termination (a finishing instance sends a final
+            // flush-Round followed by Done; both are consumed here).
+            let mut round_sends: Vec<(u32, Vec<(PartyId, Bytes)>)> = Vec::new();
+            let mut waiting: Vec<bool> = vec![false; k];
+            while (0..k).any(|i| live[i] && !waiting[i]) {
+                let (index, msg) = to_parent_rx.recv().expect("instances alive");
+                match msg {
+                    ToParent::Round { sends } => {
+                        round_sends.push((index as u32, sends));
+                        waiting[index] = true;
+                    }
+                    ToParent::Done { sends } => {
+                        round_sends.push((index as u32, sends));
+                        live[index] = false;
+                        waiting[index] = false;
+                    }
+                }
+            }
+            let anyone_waiting = waiting.iter().any(|w| *w);
+
+            // One physical round carries this cycle's logical round. If no
+            // instance is waiting, trailing sends are merely buffered into
+            // the parent (flushed at its next round boundary).
+            for (instance, sends) in round_sends {
+                for (to, payload) in sends {
+                    let tagged = Tagged {
+                        instance,
+                        payload: payload.to_vec(),
+                    };
+                    ctx.send_bytes(to, Bytes::from(tagged.encode_to_vec()));
+                }
+            }
+            if !anyone_waiting {
+                break;
+            }
+            let physical = ctx.next_round();
+
+            // Demultiplex into per-instance inboxes.
+            let mut inboxes: Vec<Inbox> = (0..k).map(|_| Inbox::with_parties(n)).collect();
+            for sender in 0..n {
+                for raw in physical.raw_from(PartyId(sender)) {
+                    if let Ok(tagged) = Tagged::decode_from_slice(raw) {
+                        let idx = tagged.instance as usize;
+                        if idx < k {
+                            inboxes[idx].push(PartyId(sender), Bytes::from(tagged.payload));
+                        }
+                    }
+                }
+            }
+            for (index, inbox) in inboxes.into_iter().enumerate() {
+                if waiting[index] {
+                    waiting[index] = false;
+                    let _ = inbox_txs[index].send(inbox);
+                }
+            }
+        }
+
+        handles.into_iter().map(|h| h.join().expect("instance panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommExt, Sim};
+
+    #[test]
+    fn parallel_instances_are_isolated() {
+        // Each instance exchanges its own tagged value; cross-talk would
+        // corrupt the per-instance sums.
+        let report = Sim::new(4).run(|ctx, _id| {
+            run_parallel(ctx, 3, |sub, idx| {
+                let inbox = sub.exchange(&(idx as u64 * 1000));
+                inbox
+                    .decode_each::<u64>()
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .sum::<u64>()
+            })
+        });
+        for out in report.honest_outputs() {
+            assert_eq!(out, &vec![0u64, 4000, 8000]);
+        }
+        // All three instances shared ONE physical round.
+        assert_eq!(report.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn uneven_round_counts() {
+        // Instance i runs i+1 rounds; physical rounds = max = 3.
+        let report = Sim::new(3).run(|ctx, _id| {
+            run_parallel(ctx, 3, |sub, idx| {
+                let mut heard = 0;
+                for r in 0..=idx as u64 {
+                    let inbox = sub.exchange(&r);
+                    heard += inbox.decode_each::<u64>().len();
+                }
+                heard
+            })
+        });
+        assert_eq!(report.metrics.rounds, 3);
+        for out in report.honest_outputs() {
+            assert_eq!(out, &vec![3, 6, 9]);
+        }
+    }
+
+    #[test]
+    fn nested_real_protocol() {
+        // Parallel binary phase-king-like voting: just verify round sharing
+        // with a nontrivial multi-round body and distinct inputs per party.
+        let report = Sim::new(4).run(|ctx, id| {
+            run_parallel(ctx, 2, |sub, idx| {
+                let mut v = (id.index() + idx) as u64;
+                for _ in 0..3 {
+                    let inbox = sub.exchange(&v);
+                    v = inbox
+                        .decode_each::<u64>()
+                        .into_iter()
+                        .map(|(_, x)| x)
+                        .max()
+                        .unwrap_or(v);
+                }
+                v
+            })
+        });
+        assert_eq!(report.metrics.rounds, 3);
+        for out in report.honest_outputs() {
+            assert_eq!(out, &vec![3, 4]); // max over ids (0..=3) + idx
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn zero_instances_rejected() {
+        Sim::new(2).run(|ctx, _| run_parallel(ctx, 0, |_, _| ()));
+    }
+}

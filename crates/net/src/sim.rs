@@ -1,0 +1,727 @@
+//! Deterministic lock-step simulator.
+
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::adversary::{Adversary, RoundView, Silent};
+use crate::{Comm, Inbox, Metrics, PartyId};
+
+/// How a party participates in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Corruption {
+    /// Runs the protocol faithfully; counted in `BITSℓ`, output checked.
+    #[default]
+    Honest,
+    /// Runs the protocol code faithfully **but is corrupted**: the paper
+    /// notes byzantine parties "can act as honest parties with inputs of
+    /// their own choice". Its bits are charged to the adversary and its
+    /// output is discarded.
+    LyingHonest,
+    /// Fully adversary-controlled: no protocol thread; the [`Adversary`]
+    /// speaks for it each round.
+    Scripted,
+}
+
+/// Result of a simulated run.
+#[derive(Debug)]
+pub struct RunReport<O> {
+    /// Per-party outputs; `Some` only for parties honest at the end of the
+    /// run (adaptively corrupted or lying parties yield `None`).
+    pub outputs: Vec<Option<O>>,
+    /// Exact communication/round measurements.
+    pub metrics: Metrics,
+    /// Parties corrupted by the end of the run (lying + scripted).
+    pub corrupted: Vec<PartyId>,
+}
+
+impl<O> RunReport<O> {
+    /// Outputs of honest parties only.
+    pub fn honest_outputs(&self) -> Vec<&O> {
+        self.outputs.iter().filter_map(|o| o.as_ref()).collect()
+    }
+
+    /// Parties honest at the end of the run.
+    pub fn honest_parties(&self) -> Vec<PartyId> {
+        (0..self.outputs.len())
+            .map(PartyId)
+            .filter(|p| !self.corrupted.contains(p))
+            .collect()
+    }
+}
+
+/// Builder/executor for one synchronous protocol run (paper §2 model).
+///
+/// One OS thread per protocol-running party; the executor enforces lock-step
+/// rounds, meters honest communication, and gives the adversary its rushing
+/// view each round.
+pub struct Sim {
+    n: usize,
+    t: usize,
+    corruption: Vec<Corruption>,
+    adversary: Box<dyn Adversary>,
+    max_rounds: u64,
+}
+
+impl Sim {
+    /// A run with `n` parties, all honest, `t = ⌊(n−1)/3⌋`, and the
+    /// [`Silent`] adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        Self {
+            n,
+            t: crate::max_faults(n),
+            corruption: vec![Corruption::Honest; n],
+            adversary: Box::new(Silent),
+            max_rounds: 1_000_000,
+        }
+    }
+
+    /// Overrides the corruption budget `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3t < n`.
+    pub fn with_t(mut self, t: usize) -> Self {
+        assert!(3 * t < self.n, "resilience requires t < n/3 (t = {t}, n = {})", self.n);
+        self.t = t;
+        self
+    }
+
+    /// Marks `party` as corrupted from the start, in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the static corruption count would exceed `t`.
+    pub fn corrupt(mut self, party: PartyId, mode: Corruption) -> Self {
+        self.corruption[party.0] = mode;
+        let count = self
+            .corruption
+            .iter()
+            .filter(|c| **c != Corruption::Honest)
+            .count();
+        assert!(count <= self.t, "more than t = {} static corruptions", self.t);
+        self
+    }
+
+    /// Installs the adversary controlling scripted parties.
+    pub fn with_adversary(mut self, adversary: impl Adversary + 'static) -> Self {
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Overrides the runaway-protocol safety valve (default 1 000 000 rounds).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Runs `party(ctx, id)` for every protocol-running party in lock-step.
+    ///
+    /// # Panics
+    ///
+    /// Propagates any panic from honest protocol code (a protocol bug), and
+    /// panics if the round limit is exceeded or the adversary oversteps its
+    /// corruption budget.
+    pub fn run<O, F>(mut self, party: F) -> RunReport<O>
+    where
+        O: Send,
+        F: Fn(&mut dyn Comm, PartyId) -> O + Sync,
+    {
+        install_quiet_shutdown_hook();
+        let n = self.n;
+        let t = self.t;
+        let (submit_tx, submit_rx) = unbounded::<Submission<O>>();
+        let mut deliver_txs: Vec<Option<Sender<Directive>>> = Vec::with_capacity(n);
+        let mut deliver_rxs: Vec<Option<Receiver<Directive>>> = Vec::with_capacity(n);
+        for mode in &self.corruption {
+            if *mode == Corruption::Scripted {
+                deliver_txs.push(None);
+                deliver_rxs.push(None);
+            } else {
+                let (tx, rx) = unbounded();
+                deliver_txs.push(Some(tx));
+                deliver_rxs.push(Some(rx));
+            }
+        }
+
+        let mut report = RunReport {
+            outputs: (0..n).map(|_| None).collect(),
+            metrics: Metrics::default(),
+            corrupted: Vec::new(),
+        };
+
+        std::thread::scope(|scope| {
+            // If the executor exits this closure by ANY path — including a
+            // panic (budget violation, protocol-bug propagation) — every
+            // party thread must be released from its round barrier, or the
+            // scope's implicit join would deadlock.
+            struct ShutdownGuard<'a>(&'a [Option<Sender<Directive>>]);
+            impl Drop for ShutdownGuard<'_> {
+                fn drop(&mut self) {
+                    for tx in self.0.iter().flatten() {
+                        let _ = tx.send(Directive::Shutdown);
+                    }
+                }
+            }
+            let _guard = ShutdownGuard(&deliver_txs);
+
+            // Spawn protocol threads (honest + lying-honest parties).
+            for (i, rx) in deliver_rxs.into_iter().enumerate() {
+                let Some(rx) = rx else { continue };
+                let submit_tx = submit_tx.clone();
+                let party = &party;
+                scope.spawn(move || {
+                    let mut ctx = PartyCtx {
+                        n,
+                        t,
+                        me: PartyId(i),
+                        pending: Vec::new(),
+                        scopes: Vec::new(),
+                        submit_tx: submit_tx.clone(),
+                        deliver_rx: rx,
+                    };
+                    let result =
+                        panic::catch_unwind(AssertUnwindSafe(|| party(&mut ctx, PartyId(i))));
+                    match result {
+                        Ok(output) => {
+                            let _ = submit_tx.send(Submission::Done {
+                                from: i,
+                                output,
+                                sends: std::mem::take(&mut ctx.pending),
+                            });
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<NetShutdown>().is_some() {
+                                // Executor-initiated teardown; exit quietly.
+                            } else {
+                                let _ = submit_tx.send(Submission::Panicked {
+                                    from: i,
+                                    info: panic_message(&payload),
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+            drop(submit_tx);
+
+            let mut corrupted: BTreeSet<PartyId> = self
+                .corruption
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != Corruption::Honest)
+                .map(|(i, _)| PartyId(i))
+                .collect();
+            // Parties whose protocol thread is still running.
+            let mut live: BTreeSet<usize> = (0..n)
+                .filter(|i| self.corruption[*i] != Corruption::Scripted)
+                .collect();
+            let mut round: u64 = 0;
+
+            'rounds: loop {
+                // --- Collect one submission from every live thread. ---
+                let mut waiting: Vec<usize> = Vec::new();
+                let mut sends: Vec<(usize, Vec<(PartyId, Bytes)>)> = Vec::new();
+                let mut scopes: Vec<(usize, String)> = Vec::new();
+                let mut expected = live.clone();
+                while !expected.is_empty() {
+                    let sub = submit_rx.recv().expect("live parties hold senders");
+                    match sub {
+                        Submission::Round { from, sends: s, scope } => {
+                            // Stray submissions from adaptively-corrupted
+                            // zombies are discarded.
+                            if !expected.remove(&from) {
+                                continue;
+                            }
+                            waiting.push(from);
+                            scopes.push((from, scope));
+                            sends.push((from, s));
+                        }
+                        Submission::Done { from, output, sends: s } => {
+                            if !expected.remove(&from) {
+                                continue;
+                            }
+                            live.remove(&from);
+                            if !corrupted.contains(&PartyId(from)) {
+                                report.outputs[from] = Some(output);
+                            }
+                            sends.push((from, s));
+                        }
+                        Submission::Panicked { from, info } => {
+                            panic!("party P{from} panicked: {info}");
+                        }
+                    }
+                }
+                sends.sort_by_key(|(from, _)| *from);
+                waiting.sort_unstable();
+
+                // --- Rushing adversary phase. ---
+                let honest_sends: Vec<(PartyId, PartyId, Bytes)> = sends
+                    .iter()
+                    .filter(|(from, _)| !corrupted.contains(&PartyId(*from)))
+                    .flat_map(|(from, msgs)| {
+                        msgs.iter()
+                            .map(|(to, payload)| (PartyId(*from), *to, payload.clone()))
+                    })
+                    .collect();
+                let corrupted_list: Vec<PartyId> = corrupted.iter().copied().collect();
+                let view = RoundView {
+                    n,
+                    t,
+                    round,
+                    corrupted: &corrupted_list,
+                    honest_sends: &honest_sends,
+                };
+                let actions = self.adversary.on_round(&view);
+
+                // Adaptive corruptions take effect this round.
+                for p in actions.corrupt {
+                    assert!(p.0 < n, "adversary corrupted nonexistent {p}");
+                    if corrupted.insert(p) {
+                        assert!(
+                            corrupted.len() <= t,
+                            "adversary exceeded corruption budget t = {t}"
+                        );
+                        report.outputs[p.0] = None;
+                        // Tear down the party's thread if it is still running.
+                        if live.remove(&p.0) {
+                            if let Some(tx) = &deliver_txs[p.0] {
+                                let _ = tx.send(Directive::Shutdown);
+                            }
+                        }
+                    }
+                }
+
+                // --- Metering + delivery assembly. ---
+                let mut inboxes: Vec<Inbox> =
+                    (0..n).map(|_| Inbox::with_parties(n)).collect();
+                for (from, msgs) in &sends {
+                    let from_id = PartyId(*from);
+                    let is_corrupt = corrupted.contains(&from_id);
+                    if is_corrupt && self.corruption[*from] != Corruption::LyingHonest {
+                        // Adaptively corrupted this round: its honest sends are
+                        // suppressed (the adversary replaces them). Lying
+                        // parties' sends still flow — they *are* the attack.
+                        continue;
+                    }
+                    let scope = scopes
+                        .iter()
+                        .find(|(p, _)| p == from)
+                        .map(|(_, s)| s.as_str())
+                        .unwrap_or("_root");
+                    for (to, payload) in msgs {
+                        if *to != from_id {
+                            // Self-delivery is free on a real network.
+                            if is_corrupt {
+                                report.metrics.record_adversary_send(payload.len());
+                            } else {
+                                report.metrics.record_honest_send(scope, payload.len());
+                            }
+                        }
+                        if to.0 < n {
+                            inboxes[to.0].push(from_id, payload.clone());
+                        }
+                    }
+                }
+                for spec in actions.sends {
+                    assert!(
+                        corrupted.contains(&spec.from),
+                        "adversary sent from honest {} (channels are authenticated)",
+                        spec.from
+                    );
+                    assert!(spec.to.0 < n, "adversary sent to nonexistent {}", spec.to);
+                    report.metrics.record_adversary_send(spec.payload.len());
+                    inboxes[spec.to.0].push(spec.from, spec.payload);
+                }
+
+                if waiting.is_empty() {
+                    // Nobody is blocked on a round boundary: the protocol is over.
+                    break 'rounds;
+                }
+
+                // Round attribution: innermost scope of the lowest-id honest
+                // waiting party (all honest parties of a lock-step protocol
+                // share the same scope).
+                let round_scope = waiting
+                    .iter()
+                    .find(|p| !corrupted.contains(&PartyId(**p)))
+                    .and_then(|p| scopes.iter().find(|(q, _)| q == p))
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_else(|| "_root".to_owned());
+                report.metrics.record_round(&round_scope);
+
+                // --- Deliver. ---
+                for (i, inbox) in inboxes.into_iter().enumerate() {
+                    if waiting.contains(&i) {
+                        if let Some(tx) = &deliver_txs[i] {
+                            let _ = tx.send(Directive::Deliver(inbox));
+                        }
+                    }
+                }
+
+                round += 1;
+                assert!(
+                    round <= self.max_rounds,
+                    "round limit {} exceeded (runaway protocol?)",
+                    self.max_rounds
+                );
+            }
+
+            // Tear down any remaining threads (e.g. zombies of adaptive
+            // corruption that were mid-computation).
+            for tx in deliver_txs.iter().flatten() {
+                let _ = tx.send(Directive::Shutdown);
+            }
+            report.corrupted = corrupted.into_iter().collect();
+        });
+
+        report
+    }
+}
+
+/// Panic payload used for executor-initiated thread teardown.
+struct NetShutdown;
+
+/// Executor-initiated teardown unwinds party threads via a `NetShutdown`
+/// panic that is always caught; the default panic hook would still print a
+/// scary backtrace for each torn-down zombie (e.g. under adaptive
+/// corruption). Install, once, a wrapper hook that stays silent for
+/// exactly that payload.
+fn install_quiet_shutdown_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<NetShutdown>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+enum Submission<O> {
+    Round {
+        from: usize,
+        sends: Vec<(PartyId, Bytes)>,
+        scope: String,
+    },
+    Done {
+        from: usize,
+        output: O,
+        sends: Vec<(PartyId, Bytes)>,
+    },
+    Panicked {
+        from: usize,
+        info: String,
+    },
+}
+
+enum Directive {
+    Deliver(Inbox),
+    Shutdown,
+}
+
+struct PartyCtx<O> {
+    n: usize,
+    t: usize,
+    me: PartyId,
+    pending: Vec<(PartyId, Bytes)>,
+    scopes: Vec<String>,
+    submit_tx: Sender<Submission<O>>,
+    deliver_rx: Receiver<Directive>,
+}
+
+impl<O> Comm for PartyCtx<O> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn t(&self) -> usize {
+        self.t
+    }
+
+    fn me(&self) -> PartyId {
+        self.me
+    }
+
+    fn send_bytes(&mut self, to: PartyId, payload: Bytes) {
+        assert!(to.0 < self.n, "send to nonexistent {to}");
+        self.pending.push((to, payload));
+    }
+
+    fn next_round(&mut self) -> Inbox {
+        let sends = std::mem::take(&mut self.pending);
+        let scope = if self.scopes.is_empty() {
+            "_root".to_owned()
+        } else {
+            self.scopes.join("/")
+        };
+        self.submit_tx
+            .send(Submission::Round {
+                from: self.me.0,
+                sends,
+                scope,
+            })
+            .expect("executor alive");
+        match self.deliver_rx.recv() {
+            Ok(Directive::Deliver(inbox)) => inbox,
+            Ok(Directive::Shutdown) | Err(_) => panic::panic_any(NetShutdown),
+        }
+    }
+
+    fn push_scope(&mut self, name: &str) {
+        self.scopes.push(name.to_owned());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{RoundActions, SendSpec};
+    use crate::CommExt;
+    use ca_codec::Encode;
+
+    /// Every party sends its id to all; checks everyone hears everyone.
+    #[test]
+    fn all_to_all_delivery() {
+        let report = Sim::new(5).run(|ctx, id| {
+            let inbox = ctx.exchange(&(id.0 as u64));
+            inbox.decode_each::<u64>()
+        });
+        for out in report.honest_outputs() {
+            let values: Vec<u64> = out.iter().map(|(_, v)| *v).collect();
+            assert_eq!(values, vec![0, 1, 2, 3, 4]);
+        }
+        assert_eq!(report.metrics.rounds, 1);
+        // 5 parties × 4 non-self messages, varint id = 1 byte each.
+        assert_eq!(report.metrics.honest_msgs, 20);
+        assert_eq!(report.metrics.honest_bits, 20 * 8);
+    }
+
+    #[test]
+    fn multi_round_protocol() {
+        let report = Sim::new(4).run(|ctx, id| {
+            let mut sum = 0u64;
+            for r in 0..3u64 {
+                let inbox = ctx.exchange(&(r + id.0 as u64));
+                sum += inbox.decode_each::<u64>().iter().map(|(_, v)| v).sum::<u64>();
+            }
+            sum
+        });
+        assert_eq!(report.metrics.rounds, 3);
+        let outs = report.honest_outputs();
+        assert!(outs.iter().all(|&&o| o == **outs.first().unwrap()));
+    }
+
+    #[test]
+    fn scripted_party_is_adversary_driven() {
+        struct Echo;
+        impl Adversary for Echo {
+            fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
+                // Rushing: echo back P0's message content + 1 to everyone.
+                let mut actions = RoundActions::default();
+                if let Some((_, _, payload)) = view.sends_from(PartyId(0)).next() {
+                    let v = <u64 as ca_codec::Decode>::decode_from_slice(payload).unwrap();
+                    for to in 0..view.n {
+                        actions.sends.push(SendSpec {
+                            from: PartyId(3),
+                            to: PartyId(to),
+                            payload: (v + 1).encode_to_vec().into(),
+                        });
+                    }
+                }
+                actions
+            }
+        }
+        let report = Sim::new(4)
+            .corrupt(PartyId(3), Corruption::Scripted)
+            .with_adversary(Echo)
+            .run(|ctx, id| {
+                if id.0 == 3 {
+                    unreachable!("scripted party must not run protocol code");
+                }
+                let inbox = ctx.exchange(&42u64);
+                inbox.decode_from::<u64>(PartyId(3))
+            });
+        assert_eq!(report.outputs[3], None);
+        for out in report.honest_outputs() {
+            assert_eq!(*out, Some(43)); // rushing echo observed same round
+        }
+        assert!(report.metrics.adversary_bits > 0);
+    }
+
+    #[test]
+    fn lying_honest_runs_protocol_but_is_excluded() {
+        let report = Sim::new(4)
+            .corrupt(PartyId(1), Corruption::LyingHonest)
+            .run(|ctx, id| {
+                let inbox = ctx.exchange(&(if id.0 == 1 { 999u64 } else { 7 }));
+                inbox.decode_each::<u64>().iter().map(|(_, v)| *v).sum::<u64>()
+            });
+        // Lying party's message was delivered (999 + 3×7 = 1020)…
+        for out in report.honest_outputs() {
+            assert_eq!(*out, 1020);
+        }
+        // …but its output is discarded and its bits are the adversary's.
+        assert_eq!(report.outputs[1], None);
+        assert_eq!(report.metrics.honest_msgs, 9); // 3 honest × 3 non-self
+        assert_eq!(report.metrics.adversary_bits, 3 * 2 * 8); // 999 = 2-byte varint
+    }
+
+    #[test]
+    fn adaptive_corruption_suppresses_and_silences() {
+        struct CorruptP0AtRound1;
+        impl Adversary for CorruptP0AtRound1 {
+            fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
+                let mut a = RoundActions::default();
+                if view.round == 1 {
+                    a.corrupt.push(PartyId(0));
+                }
+                a
+            }
+        }
+        let report = Sim::new(4)
+            .with_adversary(CorruptP0AtRound1)
+            .run(|ctx, _id| {
+                let r0 = ctx.exchange(&1u64).decode_each::<u64>().len();
+                let r1 = ctx.exchange(&2u64).decode_each::<u64>().len();
+                (r0, r1)
+            });
+        assert_eq!(report.outputs[0], None);
+        assert_eq!(report.corrupted, vec![PartyId(0)]);
+        for out in report.honest_outputs() {
+            assert_eq!(*out, (4, 3)); // P0 heard in round 0, suppressed in round 1
+        }
+    }
+
+    #[test]
+    fn scopes_attribute_bits_and_rounds() {
+        let report = Sim::new(3).run(|ctx, _id| {
+            ctx.scoped("phase_a", |ctx| {
+                ctx.exchange(&1u64);
+            });
+            ctx.scoped("phase_b", |ctx| {
+                ctx.scoped("inner", |ctx| {
+                    ctx.exchange(&2u64);
+                    ctx.exchange(&3u64);
+                });
+            });
+        });
+        assert_eq!(report.metrics.per_scope["phase_a"].rounds, 1);
+        assert_eq!(report.metrics.per_scope["phase_b/inner"].rounds, 2);
+        assert_eq!(report.metrics.scope_subtree("phase_b").rounds, 2);
+        assert_eq!(
+            report.metrics.honest_bits,
+            report.metrics.scope_subtree("phase_a").honest_bits
+                + report.metrics.scope_subtree("phase_b").honest_bits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn protocol_bug_propagates() {
+        Sim::new(3).run(|ctx, id| {
+            ctx.exchange(&1u64);
+            if id.0 == 1 {
+                panic!("intentional bug");
+            }
+            ctx.exchange(&2u64);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "round limit")]
+    fn runaway_protocol_hits_round_limit() {
+        Sim::new(2).with_max_rounds(10).run(|ctx, _id| loop {
+            ctx.exchange(&0u8);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption budget")]
+    fn adversary_cannot_exceed_t() {
+        struct GreedyCorruptor;
+        impl Adversary for GreedyCorruptor {
+            fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
+                RoundActions {
+                    corrupt: (0..view.n).map(PartyId).collect(),
+                    sends: vec![],
+                }
+            }
+        }
+        Sim::new(4).with_adversary(GreedyCorruptor).run(|ctx, _id| {
+            ctx.exchange(&0u8);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "authenticated")]
+    fn adversary_cannot_forge_honest_sender() {
+        struct Forger;
+        impl Adversary for Forger {
+            fn on_round(&mut self, _view: &RoundView<'_>) -> RoundActions {
+                RoundActions {
+                    corrupt: vec![],
+                    sends: vec![SendSpec {
+                        from: PartyId(0), // honest!
+                        to: PartyId(1),
+                        payload: Bytes::from_static(b"forged"),
+                    }],
+                }
+            }
+        }
+        Sim::new(4)
+            .corrupt(PartyId(3), Corruption::Scripted)
+            .with_adversary(Forger)
+            .run(|ctx, _id| {
+                ctx.exchange(&0u8);
+            });
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            Sim::new(5)
+                .corrupt(PartyId(2), Corruption::LyingHonest)
+                .run(|ctx, id| {
+                    let mut acc = Vec::new();
+                    for r in 0..4u64 {
+                        let inbox = ctx.exchange(&(id.0 as u64 * 100 + r));
+                        acc.push(inbox.decode_each::<u64>());
+                    }
+                    acc
+                })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.outputs.iter().collect::<Vec<_>>(),
+            b.outputs.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(a.metrics.honest_bits, b.metrics.honest_bits);
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+    }
+}

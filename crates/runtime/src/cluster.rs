@@ -1,0 +1,124 @@
+//! Single-process convenience cluster: `n` TCP parties on localhost.
+
+use std::net::{SocketAddr, TcpListener as StdTcpListener};
+use std::time::Duration;
+
+use ca_net::{Comm, PartyId};
+
+use crate::{RuntimeError, TcpParty};
+
+/// Runs `n` parties over real localhost TCP sockets, each on its own
+/// thread, and collects their outputs.
+///
+/// This is the deployment demo and the simulator-equivalence fixture; for
+/// measured experiments use [`ca_net::Sim`].
+#[derive(Debug)]
+pub struct TcpCluster {
+    n: usize,
+    delta: Duration,
+}
+
+impl TcpCluster {
+    /// A cluster of `n` parties with `Δ = 500 ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        Self {
+            n,
+            delta: Duration::from_millis(500),
+        }
+    }
+
+    /// Overrides the synchrony bound `Δ`.
+    pub fn with_delta(mut self, delta: Duration) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Establishes the clique and runs `party` everywhere, returning
+    /// outputs in party order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] if sockets cannot be set up.
+    pub fn run<O, F>(self, party: F) -> Result<Vec<O>, RuntimeError>
+    where
+        O: Send,
+        F: Fn(&mut dyn Comm, PartyId) -> O + Send + Sync,
+    {
+        // Reserve n free localhost ports.
+        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(self.n);
+        {
+            // Hold the listeners until all ports are chosen, then drop.
+            let mut holders = Vec::with_capacity(self.n);
+            for _ in 0..self.n {
+                let l = StdTcpListener::bind(("127.0.0.1", 0))?;
+                addrs.push(l.local_addr()?);
+                holders.push(l);
+            }
+        }
+
+        let delta = self.delta;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.n);
+            for i in 0..self.n {
+                let addrs = addrs.clone();
+                let party = &party;
+                handles.push(scope.spawn(move || -> Result<O, RuntimeError> {
+                    let mut comm = TcpParty::establish(PartyId(i), &addrs, delta)?;
+                    Ok(party(&mut comm, PartyId(i)))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("party thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_net::CommExt;
+
+    #[test]
+    fn all_to_all_over_tcp() {
+        let outputs = TcpCluster::new(4)
+            .with_delta(Duration::from_millis(1000))
+            .run(|ctx, id| {
+                let inbox = ctx.exchange(&(id.index() as u64 + 100));
+                let mut vals: Vec<u64> =
+                    inbox.decode_each::<u64>().into_iter().map(|(_, v)| v).collect();
+                vals.sort_unstable();
+                vals
+            })
+            .unwrap();
+        for out in outputs {
+            assert_eq!(out, vec![100, 101, 102, 103]);
+        }
+    }
+
+    #[test]
+    fn multi_round_protocol_over_tcp() {
+        let outputs = TcpCluster::new(3)
+            .with_delta(Duration::from_millis(1000))
+            .run(|ctx, id| {
+                let mut sum = 0u64;
+                for r in 0..5u64 {
+                    let inbox = ctx.exchange(&(r * 10 + id.index() as u64));
+                    sum += inbox
+                        .decode_each::<u64>()
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .sum::<u64>();
+                }
+                sum
+            })
+            .unwrap();
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Wire frames for the TCP transport.
+
+use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
+
+/// A length-prefixed frame exchanged between two parties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: announces the sender's party index.
+    Hello {
+        /// Sender's party index.
+        from: u32,
+    },
+    /// A protocol message belonging to a specific round.
+    Msg {
+        /// Round the message was sent in.
+        round: u64,
+        /// Opaque protocol payload.
+        payload: Vec<u8>,
+    },
+    /// End-of-round marker: the sender has flushed everything for `round`.
+    Eor {
+        /// The completed round.
+        round: u64,
+    },
+    /// The sender's protocol terminated; treat as end-of-round for all
+    /// future rounds.
+    Bye,
+}
+
+impl Encode for Frame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Frame::Hello { from } => {
+                w.put_u8(0);
+                from.encode(w);
+            }
+            Frame::Msg { round, payload } => {
+                w.put_u8(1);
+                round.encode(w);
+                payload.encode(w);
+            }
+            Frame::Eor { round } => {
+                w.put_u8(2);
+                round.encode(w);
+            }
+            Frame::Bye => w.put_u8(3),
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Frame::Hello {
+                from: u32::decode(r)?,
+            }),
+            1 => Ok(Frame::Msg {
+                round: u64::decode(r)?,
+                payload: Vec::decode(r)?,
+            }),
+            2 => Ok(Frame::Eor {
+                round: u64::decode(r)?,
+            }),
+            3 => Ok(Frame::Bye),
+            other => Err(CodecError::InvalidDiscriminant {
+                type_name: "Frame",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for f in [
+            Frame::Hello { from: 3 },
+            Frame::Msg {
+                round: 17,
+                payload: vec![1, 2, 3],
+            },
+            Frame::Eor { round: 9 },
+            Frame::Bye,
+        ] {
+            let bytes = f.encode_to_vec();
+            assert_eq!(Frame::decode_from_slice(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn junk_rejected() {
+        assert!(Frame::decode_from_slice(&[9]).is_err());
+        assert!(Frame::decode_from_slice(&[]).is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! One TCP party: socket plumbing plus the `Comm` implementation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::mpsc as std_mpsc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use ca_codec::{Decode, Encode};
+use ca_net::{Comm, Inbox, PartyId};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc as tokio_mpsc;
+
+use crate::Frame;
+
+/// Errors from establishing or running a TCP party.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Socket-level failure during setup.
+    Io(std::io::Error),
+    /// A peer handshake was malformed.
+    BadHandshake,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "io error: {e}"),
+            RuntimeError::BadHandshake => write!(f, "malformed peer handshake"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+/// Events flowing from the socket tasks to the protocol thread.
+#[derive(Debug)]
+enum Event {
+    Msg {
+        from: usize,
+        round: u64,
+        payload: Bytes,
+    },
+    Eor {
+        from: usize,
+        round: u64,
+    },
+    /// Peer said goodbye or its stream closed.
+    Gone {
+        from: usize,
+    },
+}
+
+/// A fully connected TCP party implementing [`Comm`].
+///
+/// Create one per process with [`TcpParty::establish`], then hand it to
+/// protocol code. Round semantics: `next_round` flushes sends tagged with
+/// the current round plus an end-of-round marker, then waits until every
+/// live peer's marker arrives or `Δ` elapses.
+pub struct TcpParty {
+    n: usize,
+    t: usize,
+    me: PartyId,
+    delta: Duration,
+    round: u64,
+    pending: Vec<(PartyId, Bytes)>,
+    scopes: Vec<String>,
+    /// Sends frames to the per-peer writer tasks.
+    writers: Vec<Option<tokio_mpsc::UnboundedSender<Frame>>>,
+    /// Inbound events from all reader tasks.
+    events: std_mpsc::Receiver<Event>,
+    /// Messages received for rounds we have not reached yet.
+    future_msgs: HashMap<u64, Vec<(usize, Bytes)>>,
+    /// Highest EOR round seen per peer.
+    eor: Vec<u64>,
+    /// Peers whose stream ended.
+    gone: Vec<bool>,
+    /// Keeps the tokio runtime driving the sockets alive.
+    _runtime: tokio::runtime::Runtime,
+}
+
+impl TcpParty {
+    /// Binds `addrs[me]`, connects to all peers, and returns a ready
+    /// transport. Every party must call this with the same address list;
+    /// the function blocks until the clique is established.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] if sockets cannot be bound/connected or a peer
+    /// handshake is malformed.
+    pub fn establish(
+        me: PartyId,
+        addrs: &[SocketAddr],
+        delta: Duration,
+    ) -> Result<Self, RuntimeError> {
+        let n = addrs.len();
+        let t = ca_net::max_faults(n);
+        let runtime = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()?;
+        let (event_tx, event_rx) = std_mpsc::channel::<Event>();
+
+        let streams = runtime.block_on(establish_clique(me, addrs))?;
+
+        let mut writers: Vec<Option<tokio_mpsc::UnboundedSender<Frame>>> =
+            (0..n).map(|_| None).collect();
+        for (peer, stream) in streams {
+            let (mut read_half, mut write_half) = stream.into_split();
+            let (tx, mut rx) = tokio_mpsc::unbounded_channel::<Frame>();
+            writers[peer] = Some(tx);
+
+            // Writer task: frame + length-prefix every outgoing message.
+            runtime.spawn(async move {
+                while let Some(frame) = rx.recv().await {
+                    let body = frame.encode_to_vec();
+                    let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+                    buf.extend_from_slice(&body);
+                    if write_half.write_all(&buf).await.is_err() {
+                        break;
+                    }
+                }
+                let _ = write_half.shutdown().await;
+            });
+
+            // Reader task: decode frames, forward as events.
+            let event_tx = event_tx.clone();
+            runtime.spawn(async move {
+                loop {
+                    let mut len_buf = [0u8; 4];
+                    if read_half.read_exact(&mut len_buf).await.is_err() {
+                        break;
+                    }
+                    let len = u32::from_be_bytes(len_buf) as usize;
+                    if len > 64 << 20 {
+                        break; // refuse absurd frames
+                    }
+                    let mut body = vec![0u8; len];
+                    if read_half.read_exact(&mut body).await.is_err() {
+                        break;
+                    }
+                    let event = match Frame::decode_from_slice(&body) {
+                        Ok(Frame::Msg { round, payload }) => Event::Msg {
+                            from: peer,
+                            round,
+                            payload: Bytes::from(payload),
+                        },
+                        Ok(Frame::Eor { round }) => Event::Eor { from: peer, round },
+                        Ok(Frame::Bye) | Err(_) => break,
+                        Ok(Frame::Hello { .. }) => continue,
+                    };
+                    if event_tx.send(event).is_err() {
+                        break;
+                    }
+                }
+                let _ = event_tx.send(Event::Gone { from: peer });
+            });
+        }
+
+        Ok(Self {
+            n,
+            t,
+            me,
+            delta,
+            round: 0,
+            pending: Vec::new(),
+            scopes: Vec::new(),
+            writers,
+            events: event_rx,
+            future_msgs: HashMap::new(),
+            eor: vec![0; n],
+            gone: {
+                let mut g = vec![false; n];
+                g[me.index()] = true; // never wait on ourselves
+                g
+            },
+            _runtime: runtime,
+        })
+    }
+
+    fn peer_done(&self, peer: usize, round: u64) -> bool {
+        self.gone[peer] || self.eor[peer] >= round
+    }
+}
+
+impl Comm for TcpParty {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn t(&self) -> usize {
+        self.t
+    }
+
+    fn me(&self) -> PartyId {
+        self.me
+    }
+
+    fn send_bytes(&mut self, to: PartyId, payload: Bytes) {
+        assert!(to.index() < self.n, "send to nonexistent {to}");
+        self.pending.push((to, payload));
+    }
+
+    fn next_round(&mut self) -> Inbox {
+        self.round += 1;
+        let round = self.round;
+        let mut inbox = Inbox::with_parties(self.n);
+
+        // Flush sends (self-delivery is local).
+        for (to, payload) in std::mem::take(&mut self.pending) {
+            if to == self.me {
+                inbox.push(self.me, payload);
+            } else if let Some(tx) = &self.writers[to.index()] {
+                let _ = tx.send(Frame::Msg {
+                    round,
+                    payload: payload.to_vec(),
+                });
+            }
+        }
+        for tx in self.writers.iter().flatten() {
+            let _ = tx.send(Frame::Eor { round });
+        }
+
+        // Adopt any messages that arrived early for this round.
+        if let Some(early) = self.future_msgs.remove(&round) {
+            for (from, payload) in early {
+                inbox.push(PartyId(from), payload);
+            }
+        }
+
+        // Wait for all live peers' markers, at most Δ.
+        let deadline = Instant::now() + self.delta;
+        while (0..self.n).any(|p| !self.peer_done(p, round)) {
+            let now = Instant::now();
+            let Some(budget) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match self.events.recv_timeout(budget) {
+                Ok(Event::Msg {
+                    from,
+                    round: msg_round,
+                    payload,
+                }) => {
+                    if msg_round == round {
+                        inbox.push(PartyId(from), payload);
+                    } else if msg_round > round {
+                        self.future_msgs
+                            .entry(msg_round)
+                            .or_default()
+                            .push((from, payload));
+                    }
+                    // Late messages (msg_round < round) missed their Δ: drop.
+                }
+                Ok(Event::Eor { from, round: r }) => {
+                    self.eor[from] = self.eor[from].max(r);
+                }
+                Ok(Event::Gone { from }) => {
+                    self.gone[from] = true;
+                }
+                Err(std_mpsc::RecvTimeoutError::Timeout) => break,
+                Err(std_mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        inbox
+    }
+
+    fn push_scope(&mut self, name: &str) {
+        self.scopes.push(name.to_owned());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+}
+
+impl Drop for TcpParty {
+    fn drop(&mut self) {
+        for tx in self.writers.iter().flatten() {
+            let _ = tx.send(Frame::Bye);
+        }
+    }
+}
+
+/// Establishes one TCP stream per peer: lower-indexed parties accept,
+/// higher-indexed parties dial (so each pair has exactly one stream).
+async fn establish_clique(
+    me: PartyId,
+    addrs: &[SocketAddr],
+) -> Result<Vec<(usize, TcpStream)>, RuntimeError> {
+    let n = addrs.len();
+    let listener = TcpListener::bind(addrs[me.index()]).await?;
+    let mut streams: Vec<(usize, TcpStream)> = Vec::with_capacity(n.saturating_sub(1));
+
+    // Dial everyone below us (with retry while they come up).
+    for peer in 0..me.index() {
+        let stream = loop {
+            match TcpStream::connect(addrs[peer]).await {
+                Ok(s) => break s,
+                Err(_) => tokio::time::sleep(Duration::from_millis(20)).await,
+            }
+        };
+        stream.set_nodelay(true).ok();
+        let mut stream = stream;
+        let hello = Frame::Hello {
+            from: me.index() as u32,
+        }
+        .encode_to_vec();
+        let mut buf = (hello.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&hello);
+        stream.write_all(&buf).await?;
+        streams.push((peer, stream));
+    }
+
+    // Accept everyone above us.
+    for _ in me.index() + 1..n {
+        let (mut stream, _) = listener.accept().await?;
+        stream.set_nodelay(true).ok();
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf).await?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > 1024 {
+            return Err(RuntimeError::BadHandshake);
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).await?;
+        match Frame::decode_from_slice(&body) {
+            Ok(Frame::Hello { from }) if (from as usize) < n => {
+                streams.push((from as usize, stream));
+            }
+            _ => return Err(RuntimeError::BadHandshake),
+        }
+    }
+
+    Ok(streams)
+}

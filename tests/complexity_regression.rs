@@ -1,0 +1,123 @@
+//! Complexity regression tests: the *measured* `BITSℓ` / `ROUNDSℓ` must
+//! stay within constant factors of the paper's bounds, and the asymptotic
+//! orderings the paper claims must hold at concrete sizes.
+//!
+//! These tests pin the communication-optimality result so a refactor that
+//! silently inflates communication fails CI.
+
+use convex_agreement::adversary::Attack;
+use convex_agreement::ba::BaKind;
+use convex_agreement::bits::Nat;
+use convex_agreement::core::pi_n;
+use convex_agreement::crypto::KAPPA_BITS;
+use convex_agreement::net::Sim;
+
+fn clustered(seed: u64, n: usize, ell: usize) -> Vec<Nat> {
+    // Inline clustered generator (ca-bench is not a dependency of the
+    // umbrella crate's tests): shared top half, party-specific low half.
+    (0..n)
+        .map(|i| {
+            let top = Nat::all_ones(ell / 2 + 1);
+            let low = Nat::from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64));
+            let mut bits = top.to_bits_len(ell).unwrap();
+            let low_bits = low.to_bits_len(64).unwrap();
+            for j in 0..64.min(ell) {
+                bits.set(ell - 1 - j, low_bits.get(63 - j));
+            }
+            bits.set(0, true);
+            bits.val()
+        })
+        .collect()
+}
+
+fn measure_pi_n(n: usize, ell: usize) -> (u64, u64) {
+    let inputs = clustered(ell as u64, n, ell);
+    let report =
+        Sim::new(n).run(move |ctx, id| pi_n(ctx, &inputs[id.index()], BaKind::TurpinCoan));
+    (report.metrics.honest_bits, report.metrics.rounds)
+}
+
+#[test]
+fn pi_n_bits_within_theorem_bound() {
+    // Cor. 2 shape with our Π_BA substitution:
+    //   BITS ≤ C · (ℓn + κ·n²·log²n + n³·log n)
+    // Empirically C ≈ 3–6; assert a generous C = 40 so only real
+    // regressions (an extra n factor) trip it.
+    for (n, ell) in [(4usize, 1usize << 12), (7, 1 << 12), (10, 1 << 14)] {
+        let (bits, _) = measure_pi_n(n, ell);
+        let nf = n as f64;
+        let log_n = nf.log2().max(1.0);
+        let bound = 40.0
+            * (ell as f64 * nf
+                + KAPPA_BITS as f64 * nf * nf * log_n * log_n
+                + nf * nf * nf * log_n);
+        assert!(
+            (bits as f64) < bound,
+            "n = {n}, ℓ = {ell}: {bits} bits exceeds bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn pi_n_rounds_within_n_log_n() {
+    for (n, ell) in [(4usize, 1usize << 10), (7, 1 << 10), (13, 1 << 10)] {
+        let (_, rounds) = measure_pi_n(n, ell);
+        let nf = n as f64;
+        let bound = 60.0 * nf * nf.log2().max(1.0);
+        assert!(
+            (rounds as f64) < bound,
+            "n = {n}: {rounds} rounds exceeds O(n log n) bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn value_term_scales_linearly_in_ell() {
+    // Doubling ℓ must add ≈ 2·Δℓ·n·(n/(n−t))-ish bits, NOT Δℓ·n² — this is
+    // the optimality headline. Check the marginal cost of going from 2^14
+    // to 2^15 at n = 7 is below 4·Δℓ·n (comfortably under Δℓ·n²/2).
+    let n = 7;
+    let (b1, _) = measure_pi_n(n, 1 << 14);
+    let (b2, _) = measure_pi_n(n, 1 << 15);
+    let delta_ell = (1u64 << 15) - (1 << 14);
+    let marginal = b2.saturating_sub(b1);
+    assert!(
+        marginal < 4 * delta_ell * n as u64,
+        "marginal cost {marginal} not linear in ℓ (Δℓ·n = {})",
+        delta_ell * n as u64
+    );
+}
+
+#[test]
+fn ordering_at_large_ell() {
+    // At ℓ = 2^14 the paper's protocol must beat both baselines on wires.
+    use convex_agreement::core::{broadcast_ca, high_cost_ca};
+    let n = 7;
+    let ell = 1 << 14;
+    let inputs = clustered(99, n, ell);
+
+    let ours = {
+        let inputs = inputs.clone();
+        Sim::new(n)
+            .run(move |ctx, id| pi_n(ctx, &inputs[id.index()], BaKind::TurpinCoan))
+            .metrics
+            .honest_bits
+    };
+    let bc = {
+        let inputs = inputs.clone();
+        Sim::new(n)
+            .run(move |ctx, id| broadcast_ca(ctx, inputs[id.index()].clone(), BaKind::TurpinCoan))
+            .metrics
+            .honest_bits
+    };
+    let hc = {
+        let inputs = inputs.clone();
+        Sim::new(n)
+            .run(move |ctx, id| high_cost_ca(ctx, inputs[id.index()].clone(), |_| true))
+            .metrics
+            .honest_bits
+    };
+    assert!(ours < bc, "pi_n ({ours}) must beat broadcast_ca ({bc}) at ℓ = 2^14");
+    assert!(bc < hc, "broadcast_ca ({bc}) must beat high_cost_ca ({hc})");
+    let _ = Attack::none();
+}

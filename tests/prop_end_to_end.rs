@@ -1,0 +1,73 @@
+//! Property-based end-to-end tests: random sizes, inputs, and adversaries
+//! through the full `Π_ℤ` stack — Definition 1 must hold for every sample.
+
+use convex_agreement::adversary::{Attack, LieKind};
+use convex_agreement::ba::BaKind;
+use convex_agreement::bits::Int;
+use convex_agreement::core::{check_agreement, check_convex_validity, pi_z};
+use convex_agreement::net::Sim;
+use proptest::prelude::*;
+
+fn run_case(n: usize, mut inputs: Vec<Int>, attack: Attack) {
+    let t = convex_agreement::net::max_faults(n);
+    if attack.is_lying() {
+        for (idx, p) in attack.corrupted_parties(n, t).iter().enumerate() {
+            inputs[p.index()] = match attack.lie_for(idx).unwrap() {
+                LieKind::ExtremeHigh => Int::from_i64(i64::MAX),
+                LieKind::ExtremeLow => Int::from_i64(i64::MIN),
+                LieKind::Split => unreachable!(),
+            };
+        }
+    }
+    let sim = attack.install(Sim::new(n), n, t);
+    let inputs_run = inputs.clone();
+    let report = sim.run(move |ctx, id| pi_z(ctx, &inputs_run[id.index()], BaKind::TurpinCoan));
+    let honest_inputs: Vec<Int> = report
+        .honest_parties()
+        .iter()
+        .map(|p| inputs[p.index()].clone())
+        .collect();
+    let outputs: Vec<Int> = report.honest_outputs().into_iter().cloned().collect();
+    assert!(check_agreement(&outputs), "agreement [{}]", attack.name());
+    assert!(
+        check_convex_validity(&outputs, &honest_inputs),
+        "validity [{}]: {:?} ∉ hull of {:?}",
+        attack.name(),
+        outputs.first(),
+        honest_inputs
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_pi_z_definition1(
+        n in 4usize..8,
+        raw in proptest::collection::vec(any::<i64>(), 8),
+        attack_idx in 0usize..11,
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Int> = raw[..n].iter().map(|&v| Int::from_i64(v)).collect();
+        let attack = Attack::standard_suite(seed)[attack_idx];
+        run_case(n, inputs, attack);
+    }
+
+    #[test]
+    fn prop_pi_z_clustered_inputs(
+        n in 4usize..8,
+        center in -1_000_000i64..1_000_000,
+        jitter in proptest::collection::vec(-50i64..50, 8),
+        attack_idx in 0usize..11,
+    ) {
+        let inputs: Vec<Int> = jitter[..n]
+            .iter()
+            .map(|&j| Int::from_i64(center.saturating_add(j)))
+            .collect();
+        let attack = Attack::standard_suite(7)[attack_idx];
+        run_case(n, inputs, attack);
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulator ↔ TCP runtime equivalence: the identical protocol code must
+//! produce identical outputs on both transports (honest runs; the TCP
+//! runtime is a deployment demo, not a metered testbed).
+
+use std::time::Duration;
+
+use convex_agreement::ba::BaKind;
+use convex_agreement::bits::Int;
+use convex_agreement::core::{check_agreement, pi_z};
+use convex_agreement::net::Sim;
+use convex_agreement::runtime::TcpCluster;
+
+#[test]
+fn pi_z_same_output_on_both_transports() {
+    let n = 4;
+    let inputs: Vec<Int> = vec![-7, 13, 2, 4].into_iter().map(Int::from_i64).collect();
+
+    let sim_out: Vec<Int> = {
+        let inputs = inputs.clone();
+        Sim::new(n)
+            .run(move |ctx, id| pi_z(ctx, &inputs[id.index()], BaKind::TurpinCoan))
+            .honest_outputs()
+            .into_iter()
+            .cloned()
+            .collect()
+    };
+
+    let tcp_out: Vec<Int> = {
+        let inputs = inputs.clone();
+        TcpCluster::new(n)
+            .with_delta(Duration::from_millis(2000))
+            .run(move |ctx, id| pi_z(ctx, &inputs[id.index()], BaKind::TurpinCoan))
+            .expect("tcp cluster")
+    };
+
+    assert!(check_agreement(&sim_out));
+    assert!(check_agreement(&tcp_out));
+    assert_eq!(sim_out[0], tcp_out[0], "transports disagree");
+}
+
+#[test]
+fn tcp_cluster_tolerates_generous_delta() {
+    // Just a smoke: a 3-party cluster with large Δ still terminates fast
+    // because EOR markers short-circuit the timeout.
+    let outputs = TcpCluster::new(3)
+        .with_delta(Duration::from_secs(5))
+        .run(|ctx, id| {
+            pi_z(
+                ctx,
+                &Int::from_i64(100 + id.index() as i64),
+                BaKind::TurpinCoan,
+            )
+        })
+        .expect("cluster");
+    assert!(check_agreement(&outputs));
+}
