@@ -2,7 +2,9 @@
 
 use ca_net::{Corruption, PartyId, Sim};
 
-use crate::strategies::{AdaptiveGarbage, DelayedCrash, Equivocate, Garbage, PeriodicBurst, Replay};
+use crate::strategies::{
+    AdaptiveGarbage, DelayedCrash, Equivocate, Garbage, PeriodicBurst, Replay,
+};
 
 /// How a lying (protocol-following but corrupted) party distorts its input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,7 +128,7 @@ impl Attack {
     /// corrupted) distorts its input. `None` for non-lying plans.
     pub fn lie_for(&self, corrupted_index: usize) -> Option<LieKind> {
         match self.kind {
-            AttackKind::Lying(LieKind::Split) => Some(if corrupted_index % 2 == 0 {
+            AttackKind::Lying(LieKind::Split) => Some(if corrupted_index.is_multiple_of(2) {
                 LieKind::ExtremeHigh
             } else {
                 LieKind::ExtremeLow
@@ -192,10 +194,7 @@ mod tests {
     #[test]
     fn corrupted_parties_are_last_t() {
         let a = Attack::new(AttackKind::Crash);
-        assert_eq!(
-            a.corrupted_parties(7, 2),
-            vec![PartyId(5), PartyId(6)]
-        );
+        assert_eq!(a.corrupted_parties(7, 2), vec![PartyId(5), PartyId(6)]);
         assert!(Attack::none().corrupted_parties(7, 2).is_empty());
     }
 

@@ -120,7 +120,11 @@ impl Adversary for Equivocate {
             let low = view.honest_sends[a].2.clone();
             let high = view.honest_sends[b].2.clone();
             for to in 0..view.n {
-                let payload = if to < view.n / 2 { low.clone() } else { high.clone() };
+                let payload = if to < view.n / 2 {
+                    low.clone()
+                } else {
+                    high.clone()
+                };
                 actions.sends.push(SendSpec {
                     from,
                     to: PartyId(to),
@@ -162,7 +166,7 @@ impl AdaptiveGarbage {
 impl Adversary for AdaptiveGarbage {
     fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
         let mut actions = self.inner.on_round(view);
-        if view.round % self.interval == 0 && view.corrupted.len() < view.t {
+        if view.round.is_multiple_of(self.interval) && view.corrupted.len() < view.t {
             if let Some(&victim) = view.honest_parties().first() {
                 actions.corrupt.push(victim);
             }
@@ -324,13 +328,13 @@ mod tests {
 
     #[test]
     fn adaptive_garbage_spends_budget() {
-        let report = Sim::new(7)
-            .with_adversary(AdaptiveGarbage::new(1, 2))
-            .run(|ctx: &mut dyn Comm, _id| {
+        let report = Sim::new(7).with_adversary(AdaptiveGarbage::new(1, 2)).run(
+            |ctx: &mut dyn Comm, _id| {
                 for r in 0..10u64 {
                     ctx.exchange(&r);
                 }
-            });
+            },
+        );
         assert_eq!(report.corrupted.len(), 2); // t = 2 for n = 7
     }
 }

@@ -1,0 +1,132 @@
+//! CLI for the protocol-soundness analyzer.
+//!
+//! ```text
+//! ca-analyzer [--root <path>] [--rule <name>] [--deny] [--json]
+//!             [--include-shims] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or warnings without `--deny`), `1` findings
+//! that fail the gate, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ca_analyzer::{all_rules, analyze_workspace, Options, Severity};
+
+struct Cli {
+    root: PathBuf,
+    opts: Options,
+    deny: bool,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        opts: Options::default(),
+        deny: false,
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                cli.root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root requires a path".to_owned())?,
+                );
+            }
+            "--rule" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--rule requires a name".to_owned())?;
+                if ca_analyzer::rule_by_name(&name).is_none() {
+                    return Err(format!("unknown rule `{name}` (try --list-rules)"));
+                }
+                cli.opts.only_rule = Some(name);
+            }
+            "--deny" => cli.deny = true,
+            "--json" => cli.json = true,
+            "--include-shims" => cli.opts.include_shims = true,
+            "--list-rules" => cli.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ca-analyzer [--root <path>] [--rule <name>] [--deny] [--json] \
+                     [--include-shims] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("ca-analyzer: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.list_rules {
+        for rule in all_rules() {
+            let scope = if rule.scope.is_empty() {
+                "workspace".to_owned()
+            } else {
+                rule.scope.join(", ")
+            };
+            println!(
+                "{:<16} {:<8} [{}]\n    {}",
+                rule.name,
+                rule.severity.to_string(),
+                scope,
+                rule.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let diags = match analyze_workspace(&cli.root, &cli.opts) {
+        Ok(diags) => diags,
+        Err(msg) => {
+            eprintln!("ca-analyzer: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.json {
+        println!("[");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 == diags.len() { "" } else { "," };
+            println!("  {}{comma}", d.render_json());
+        }
+        println!("]");
+    } else {
+        for d in &diags {
+            println!("{}", d.render_human());
+        }
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if !cli.json {
+        println!(
+            "ca-analyzer: {errors} error(s), {warnings} warning(s){}",
+            if cli.deny { " [--deny]" } else { "" }
+        );
+    }
+    let failing = if cli.deny { diags.len() } else { errors };
+    if failing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

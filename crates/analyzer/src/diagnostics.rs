@@ -1,0 +1,211 @@
+//! Diagnostics: severity, rendering (human and JSON), and the
+//! `// ca-lint: allow(<rule>)` suppression pragma.
+
+use std::fmt;
+
+use crate::lexer::{Token, TokenKind};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious; fails the build only under `--deny`.
+    Warn,
+    /// A protocol-soundness violation; always fails the build.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding at a file:line location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that produced the finding (e.g. `panic-path`).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: severity [rule] message` — the human format.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+
+    /// One JSON object (used by `--json` output).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"severity\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            json_str(&self.severity.to_string()),
+            json_str(self.rule),
+            json_str(&self.message)
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Suppressions parsed from `// ca-lint: allow(rule, …)` comments.
+///
+/// A pragma on line `L` suppresses findings of the listed rules on line
+/// `L` and line `L + 1` (so it can sit on its own line above the code or
+/// trail the code it justifies). A `//! ca-lint: allow(rule)` inner doc
+/// comment suppresses the rule for the whole file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// (rule, line) pairs that are suppressed.
+    line_allows: Vec<(String, u32)>,
+    /// Rules suppressed for the entire file.
+    file_allows: Vec<String>,
+    /// Pragmas that never matched a finding (for `--unused-pragmas`).
+    pub pragma_lines: Vec<(String, u32)>,
+}
+
+impl Suppressions {
+    /// Scans the token stream for pragmas.
+    #[must_use]
+    pub fn collect(tokens: &[Token<'_>]) -> Self {
+        let mut out = Self::default();
+        for tok in tokens {
+            if tok.kind != TokenKind::LineComment && tok.kind != TokenKind::BlockComment {
+                continue;
+            }
+            let Some(rules) = parse_pragma(tok.text) else {
+                continue;
+            };
+            let file_wide = tok.text.starts_with("//!");
+            for rule in rules {
+                if file_wide {
+                    out.file_allows.push(rule);
+                } else {
+                    out.pragma_lines.push((rule.clone(), tok.line));
+                    out.line_allows.push((rule, tok.line));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a finding of `rule` on `line` is suppressed.
+    #[must_use]
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.file_allows.iter().any(|r| r == rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|(r, l)| r == rule && (*l == line || l.saturating_add(1) == line))
+    }
+}
+
+/// Parses `ca-lint: allow(a, b)` out of a comment, returning the rule
+/// names, or `None` if the comment is not a pragma.
+fn parse_pragma(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("ca-lint:")?;
+    let rest = comment[idx + "ca-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let rules: Vec<String> = inner[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let src = "// ca-lint: allow(panic-path) — len checked above\nlet x = v.unwrap();\n";
+        let sup = Suppressions::collect(&lex(src));
+        assert!(sup.allows("panic-path", 1));
+        assert!(sup.allows("panic-path", 2));
+        assert!(!sup.allows("panic-path", 3));
+        assert!(!sup.allows("nondeterminism", 2));
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_its_own_line() {
+        let src = "let x = v.unwrap(); // ca-lint: allow(panic-path) — invariant\n";
+        let sup = Suppressions::collect(&lex(src));
+        assert!(sup.allows("panic-path", 1));
+    }
+
+    #[test]
+    fn file_level_pragma() {
+        let src =
+            "//! ca-lint: allow(nondeterminism) — this file is the clock boundary\nfn f() {}\n";
+        let sup = Suppressions::collect(&lex(src));
+        assert!(sup.allows("nondeterminism", 999));
+    }
+
+    #[test]
+    fn multi_rule_pragma() {
+        let src = "// ca-lint: allow(panic-path, wire-cast)\nx\n";
+        let sup = Suppressions::collect(&lex(src));
+        assert!(sup.allows("panic-path", 2));
+        assert!(sup.allows("wire-cast", 2));
+    }
+
+    #[test]
+    fn non_pragma_comments_ignored() {
+        let sup = Suppressions::collect(&lex("// ordinary comment\n"));
+        assert!(!sup.allows("panic-path", 1));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let d = Diagnostic {
+            rule: "panic-path",
+            severity: Severity::Error,
+            file: "a\"b.rs".into(),
+            line: 3,
+            message: "msg".into(),
+        };
+        assert!(d.render_json().contains("a\\\"b.rs"));
+        assert!(d.render_human().contains("error [panic-path]"));
+    }
+}

@@ -1,0 +1,309 @@
+//! The analysis engine: walks the workspace, maps files to crates,
+//! masks `#[cfg(test)]` modules, applies rules, and filters findings
+//! through suppression pragmas.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diagnostics::{Diagnostic, Suppressions};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{all_rules, FileContext, Rule};
+
+/// Analysis options, mirrored by the CLI flags.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Run only the rule with this name (all rules when `None`).
+    pub only_rule: Option<String>,
+    /// Include `shims/` (vendored stand-ins) in the walk. Off by default:
+    /// shims mimic external crates and are not protocol code.
+    pub include_shims: bool,
+}
+
+/// Analyzes every Rust source file under `root` (a workspace checkout).
+///
+/// # Errors
+///
+/// Returns an error when the workspace layout cannot be read.
+pub fn analyze_workspace(root: &Path, opts: &Options) -> Result<Vec<Diagnostic>, String> {
+    if !root.is_dir() {
+        return Err(format!("root `{}` is not a directory", root.display()));
+    }
+    let mut files = Vec::new();
+    collect_workspace_files(root, opts, &mut files)?;
+    files.sort();
+
+    let mut diags = Vec::new();
+    for file in &files {
+        let src = fs::read_to_string(file)
+            .map_err(|e| format!("failed to read {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_name = crate_name_for(root, &rel);
+        let ctx = FileContext {
+            crate_name: &crate_name,
+            path: &rel,
+            is_test_code: is_test_path(&rel),
+        };
+        diags.extend(analyze_source(&ctx, &src, opts));
+    }
+    Ok(diags)
+}
+
+/// Analyzes one source string. Public so fixture tests can drive a rule
+/// against a snippet without touching the filesystem.
+#[must_use]
+pub fn analyze_source(ctx: &FileContext<'_>, src: &str, opts: &Options) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let masked = mask_cfg_test(&tokens);
+    let sup = Suppressions::collect(&tokens);
+    let mut out = Vec::new();
+    for rule in applicable_rules(ctx, opts) {
+        let before = out.len();
+        (rule.check)(ctx, &tokens, &masked, &mut out);
+        // Drop findings the file suppresses via pragmas.
+        let mut i = before;
+        while i < out.len() {
+            if sup.allows(out[i].rule, out[i].line) {
+                out.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn applicable_rules<'r>(
+    ctx: &FileContext<'_>,
+    opts: &Options,
+) -> impl Iterator<Item = &'r Rule> + use<'r> {
+    let crate_name = ctx.crate_name.to_owned();
+    let is_test = ctx.is_test_code;
+    let only = opts.only_rule.clone();
+    all_rules().iter().filter(move |rule| {
+        if let Some(only) = &only {
+            if rule.name != only {
+                return false;
+            }
+        }
+        if is_test && !rule.check_test_code {
+            return false;
+        }
+        rule.scope.is_empty() || rule.scope.contains(&crate_name.as_str())
+    })
+}
+
+/// Marks tokens inside `#[cfg(test)] mod … { … }` blocks so most rules
+/// skip them (unit tests may unwrap freely).
+#[must_use]
+pub fn mask_cfg_test(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut masked = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut c = 0usize;
+    while c < code.len() {
+        if !is_cfg_test_attr(tokens, &code, c) {
+            c += 1;
+            continue;
+        }
+        // `#[cfg(test)]` spans 6 significant tokens: # [ cfg ( test ) ].
+        let after_attr = c + 7;
+        // Skip any further attributes, then expect `mod name {`.
+        let mut m = after_attr;
+        while m < code.len() && tokens[code[m]].text == "#" {
+            // Skip a balanced `#[ … ]`.
+            m += 1;
+            if m < code.len() && tokens[code[m]].text == "[" {
+                let mut depth = 0i32;
+                while m < code.len() {
+                    match tokens[code[m]].text {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                m += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+            }
+        }
+        let is_mod = m < code.len()
+            && tokens[code[m]].text == "mod"
+            && code
+                .get(m + 1)
+                .is_some_and(|&i| tokens[i].kind == TokenKind::Ident)
+            && code.get(m + 2).is_some_and(|&i| tokens[i].text == "{");
+        if !is_mod {
+            c += 1;
+            continue;
+        }
+        // Mask from the attribute through the matching close brace.
+        let open = m + 2;
+        let mut depth = 0i32;
+        let mut end = open;
+        while end < code.len() {
+            match tokens[code[end]].text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for &ti in &code[c..=end.min(code.len() - 1)] {
+            masked[ti] = true;
+        }
+        c = end + 1;
+    }
+    masked
+}
+
+fn is_cfg_test_attr(tokens: &[Token<'_>], code: &[usize], c: usize) -> bool {
+    let texts: Vec<&str> = code[c..].iter().take(7).map(|&i| tokens[i].text).collect();
+    texts == ["#", "[", "cfg", "(", "test", ")", "]"]
+}
+
+/// Whether a workspace-relative path is test/bench/example code.
+#[must_use]
+pub fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Maps a workspace-relative file to its owning package name by reading
+/// the nearest `Cargo.toml` on the path. Falls back to the directory name.
+fn crate_name_for(root: &Path, rel: &str) -> String {
+    let mut dir = PathBuf::from(rel);
+    dir.pop();
+    loop {
+        let manifest = root.join(&dir).join("Cargo.toml");
+        if let Ok(body) = fs::read_to_string(&manifest) {
+            if let Some(name) = parse_package_name(&body) {
+                return name;
+            }
+        }
+        if !dir.pop() {
+            return "unknown".to_owned();
+        }
+    }
+}
+
+/// Extracts `name = "…"` from the `[package]` section of a manifest.
+fn parse_package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_owned());
+            }
+        }
+    }
+    None
+}
+
+fn collect_workspace_files(
+    root: &Path,
+    opts: &Options,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let mut top_dirs = vec![root.join("crates"), root.join("src"), root.join("tests")];
+    if opts.include_shims {
+        top_dirs.push(root.join("shims"));
+    }
+    for dir in top_dirs {
+        if dir.is_dir() {
+            walk_rs(&dir, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}\nfn c() { z.unwrap(); }\n";
+        let tokens = lex(src);
+        let masked = mask_cfg_test(&tokens);
+        let unwraps: Vec<bool> = tokens
+            .iter()
+            .zip(&masked)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn b() { y.unwrap(); } }\n";
+        let tokens = lex(src);
+        let masked = mask_cfg_test(&tokens);
+        let idx = tokens.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(masked[idx]);
+    }
+
+    #[test]
+    fn cfg_test_fn_attribute_does_not_mask_rest_of_file() {
+        // `#[cfg(test)]` on a non-mod item: nothing is masked (rules stay
+        // conservative), and analysis continues past it.
+        let src = "#[cfg(test)]\nfn helper() {}\nfn real() { x.unwrap(); }\n";
+        let tokens = lex(src);
+        let masked = mask_cfg_test(&tokens);
+        let idx = tokens.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!masked[idx]);
+    }
+
+    #[test]
+    fn test_paths_classified() {
+        assert!(is_test_path("crates/codec/tests/prop.rs"));
+        assert!(is_test_path("crates/bench/benches/t5.rs"));
+        assert!(!is_test_path("crates/codec/src/lib.rs"));
+    }
+
+    #[test]
+    fn package_name_parsing() {
+        let manifest = "[package]\nname = \"ca-codec\"\nversion = \"0.1.0\"\n\n[dependencies]\nname = \"decoy\"\n";
+        assert_eq!(parse_package_name(manifest).as_deref(), Some("ca-codec"));
+    }
+}

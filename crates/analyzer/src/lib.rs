@@ -1,0 +1,35 @@
+//! `ca-analyzer`: protocol-soundness static analysis for the
+//! convex-agreement workspace.
+//!
+//! The analyzer enforces invariants that `rustc` and `clippy` cannot see
+//! because they are properties of *this protocol*, not of Rust:
+//!
+//! - **panic-path** — message-handling crates must never abort on
+//!   byzantine input (no `unwrap`/`expect`/`panic!`, no slice indexing in
+//!   the codec).
+//! - **unbounded-alloc** — allocations sized by decoded wire lengths must
+//!   be clamped, or a single forged frame defeats the paper's
+//!   `O(ℓn + κ·n²·log²n)` communication bound by forcing gigabyte
+//!   allocations.
+//! - **nondeterminism** — protocol and simulator paths must be replayable:
+//!   no `HashMap` iteration, wall clocks, or ambient randomness.
+//! - **wire-cast** — no silent `as` truncation in the codec.
+//! - **unsafe-audit** — a workspace-wide `unsafe` inventory, deny by
+//!   default.
+//!
+//! Findings are suppressed with `// ca-lint: allow(<rule>)` on the same
+//! or preceding line, or `//! ca-lint: allow(<rule>)` for a whole file —
+//! each pragma is a reviewed, greppable exception.
+//!
+//! The implementation is dependency-free: a hand-rolled lexer
+//! ([`lexer`]) gives token-level (not regex) matching, so code inside
+//! comments, doc examples, and string literals never trips a rule.
+
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diagnostics::{Diagnostic, Severity};
+pub use engine::{analyze_source, analyze_workspace, Options};
+pub use rules::{all_rules, rule_by_name, FileContext};

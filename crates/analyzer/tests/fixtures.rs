@@ -1,0 +1,272 @@
+//! Fixture tests: every rule must fire on a known-bad snippet and stay
+//! silent on the corresponding known-good snippet.
+
+use ca_analyzer::{analyze_source, FileContext, Options, Severity};
+
+fn codec_ctx() -> FileContext<'static> {
+    FileContext {
+        crate_name: "ca-codec",
+        path: "crates/codec/src/lib.rs",
+        is_test_code: false,
+    }
+}
+
+fn runtime_ctx() -> FileContext<'static> {
+    FileContext {
+        crate_name: "ca-runtime",
+        path: "crates/runtime/src/party.rs",
+        is_test_code: false,
+    }
+}
+
+fn run(ctx: &FileContext<'_>, src: &str) -> Vec<ca_analyzer::Diagnostic> {
+    analyze_source(ctx, src, &Options::default())
+}
+
+fn rules_fired(ctx: &FileContext<'_>, src: &str) -> Vec<&'static str> {
+    run(ctx, src).into_iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- panic-path
+
+#[test]
+fn panic_path_fires_on_unwrap() {
+    let diags = run(&codec_ctx(), "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "panic-path");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(diags[0].line, 1);
+    assert_eq!(diags[0].file, "crates/codec/src/lib.rs");
+}
+
+#[test]
+fn panic_path_fires_on_expect_and_panic_macro() {
+    let fired = rules_fired(
+        &codec_ctx(),
+        "fn f(v: Option<u8>) -> u8 {\n    if v.is_none() { panic!(\"boom\") }\n    v.expect(\"checked\")\n}\n",
+    );
+    assert_eq!(fired, vec!["panic-path", "panic-path"]);
+}
+
+#[test]
+fn panic_path_fires_on_slice_indexing_in_codec() {
+    let diags = run(&codec_ctx(), "fn f(b: &[u8]) -> u8 { b[0] }\n");
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("slice indexing"));
+}
+
+#[test]
+fn panic_path_allows_get_based_access() {
+    let src = "fn f(b: &[u8]) -> Option<u8> { b.get(0).copied() }\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+#[test]
+fn panic_path_ignores_array_types_and_literals() {
+    // `[u8; 4]` after `:`/`->`/keywords and array literals after `=` are
+    // not index expressions.
+    let src =
+        "fn f(x: [u8; 4]) -> [u8; 4] { let y = [0u8; 4]; for v in [1, 2] { let _ = v; } x }\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+#[test]
+fn panic_path_does_not_apply_to_unscoped_crates() {
+    let ctx = FileContext {
+        crate_name: "ca-bench",
+        path: "crates/bench/src/lib.rs",
+        is_test_code: false,
+    };
+    assert!(run(&ctx, "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n").is_empty());
+}
+
+#[test]
+fn panic_path_skips_cfg_test_modules() {
+    let src = "fn good() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+#[test]
+fn panic_path_skips_comments_and_strings() {
+    let src = "// v.unwrap() would panic\nfn f() { let s = \"x.unwrap()\"; let _ = s; }\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+// ------------------------------------------------------------ unbounded-alloc
+
+#[test]
+fn unbounded_alloc_fires_on_unclamped_capacity() {
+    let diags = run(
+        &codec_ctx(),
+        "fn f(len: usize) -> Vec<u8> { Vec::with_capacity(len) }\n",
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "unbounded-alloc");
+}
+
+#[test]
+fn unbounded_alloc_fires_on_reserve() {
+    let fired = rules_fired(
+        &runtime_ctx(),
+        "fn f(v: &mut Vec<u8>, n: usize) { v.reserve(n); }\n",
+    );
+    assert_eq!(fired, vec!["unbounded-alloc"]);
+}
+
+#[test]
+fn unbounded_alloc_ignores_fn_definitions() {
+    let src = "pub fn with_capacity(cap: usize) -> Self { Self { buf: Vec::with_capacity(cap.min(1024)) } }\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+#[test]
+fn unbounded_alloc_allows_clamped_capacity() {
+    let srcs = [
+        "fn f(len: usize) -> Vec<u8> { Vec::with_capacity(len.min(MAX_DECODE_CAPACITY)) }\n",
+        "fn f(len: usize) -> Vec<u8> { Vec::with_capacity(len.clamp(0, 1024)) }\n",
+        "fn f() -> Vec<u8> { Vec::with_capacity(1024) }\n",
+        "fn f() -> Vec<u8> { Vec::with_capacity(64 * 1024) }\n",
+    ];
+    for src in srcs {
+        assert!(
+            run(&codec_ctx(), src).is_empty(),
+            "false positive on: {src}"
+        );
+    }
+}
+
+// ------------------------------------------------------------- nondeterminism
+
+#[test]
+fn nondeterminism_fires_on_hashmap_and_instant_now() {
+    let fired = rules_fired(
+        &runtime_ctx(),
+        "use std::collections::HashMap;\nfn f() { let t = Instant::now(); let _ = t; }\n",
+    );
+    assert_eq!(fired, vec!["nondeterminism", "nondeterminism"]);
+}
+
+#[test]
+fn nondeterminism_fires_on_thread_rng() {
+    let fired = rules_fired(&runtime_ctx(), "fn f() { let mut r = thread_rng(); }\n");
+    assert_eq!(fired, vec!["nondeterminism"]);
+}
+
+#[test]
+fn nondeterminism_allows_btreemap_and_instant_arithmetic() {
+    // `Instant` as a type (parameter, field) is fine — only `::now()` is
+    // the nondeterministic entry point.
+    let src = "use std::collections::BTreeMap;\nfn f(start: Instant) -> BTreeMap<u32, u32> { let _ = start; BTreeMap::new() }\n";
+    assert!(run(&runtime_ctx(), src).is_empty());
+}
+
+#[test]
+fn nondeterminism_not_checked_outside_deterministic_crates() {
+    let ctx = FileContext {
+        crate_name: "ca-bench",
+        path: "crates/bench/src/lib.rs",
+        is_test_code: false,
+    };
+    assert!(run(&ctx, "fn f() { let t = Instant::now(); let _ = t; }\n").is_empty());
+}
+
+// ----------------------------------------------------------------- wire-cast
+
+#[test]
+fn wire_cast_fires_on_narrowing_as() {
+    let diags = run(&codec_ctx(), "fn f(v: u64) -> u8 { v as u8 }\n");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "wire-cast");
+    assert_eq!(diags[0].severity, Severity::Warn);
+}
+
+#[test]
+fn wire_cast_allows_widening_and_try_from() {
+    let srcs = [
+        "fn f(v: u8) -> u64 { v as u64 }\n",
+        "fn f(v: u64) -> Result<u8, core::num::TryFromIntError> { u8::try_from(v) }\n",
+    ];
+    for src in srcs {
+        assert!(
+            run(&codec_ctx(), src).is_empty(),
+            "false positive on: {src}"
+        );
+    }
+}
+
+#[test]
+fn wire_cast_only_applies_to_codec() {
+    assert!(run(&runtime_ctx(), "fn f(v: u64) -> u8 { v as u8 }\n").is_empty());
+}
+
+// -------------------------------------------------------------- unsafe-audit
+
+#[test]
+fn unsafe_audit_fires_everywhere_including_tests() {
+    let ctx = FileContext {
+        crate_name: "ca-bench",
+        path: "crates/bench/tests/x.rs",
+        is_test_code: true,
+    };
+    let fired = rules_fired(&ctx, "fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+    assert_eq!(fired, vec!["unsafe-audit"]);
+}
+
+#[test]
+fn unsafe_audit_silent_on_safe_code() {
+    assert!(run(&codec_ctx(), "fn f() -> u8 { 1 }\n").is_empty());
+}
+
+// ------------------------------------------------------------------- pragmas
+
+#[test]
+fn pragma_suppresses_next_line_finding() {
+    let src = "// ca-lint: allow(panic-path) — value is produced two lines up\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+#[test]
+fn trailing_pragma_suppresses_same_line() {
+    let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() } // ca-lint: allow(panic-path)\n";
+    assert!(run(&codec_ctx(), src).is_empty());
+}
+
+#[test]
+fn pragma_for_other_rule_does_not_suppress() {
+    let src = "// ca-lint: allow(wire-cast)\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    assert_eq!(rules_fired(&codec_ctx(), src), vec!["panic-path"]);
+}
+
+#[test]
+fn file_wide_pragma_suppresses_all_lines() {
+    let src = "//! ca-lint: allow(nondeterminism) — clock injection boundary\nfn f() { let t = Instant::now(); let _ = t; }\nfn g() { let t = Instant::now(); let _ = t; }\n";
+    assert!(run(&runtime_ctx(), src).is_empty());
+}
+
+// ------------------------------------------------------------- rule filtering
+
+#[test]
+fn only_rule_filter_restricts_findings() {
+    let src = "fn f(v: Option<u64>) -> u8 { v.unwrap() as u8 }\n";
+    let opts = Options {
+        only_rule: Some("wire-cast".to_owned()),
+        include_shims: false,
+    };
+    let fired: Vec<_> = analyze_source(&codec_ctx(), src, &opts)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect();
+    assert_eq!(fired, vec!["wire-cast"]);
+}
+
+#[test]
+fn test_code_skips_all_but_unsafe_audit() {
+    let ctx = FileContext {
+        crate_name: "ca-codec",
+        path: "crates/codec/tests/prop.rs",
+        is_test_code: true,
+    };
+    let src =
+        "fn f(v: Option<u64>) -> u8 { let t = Instant::now(); let _ = t; v.unwrap() as u8 }\n";
+    assert!(run(&ctx, src).is_empty());
+}

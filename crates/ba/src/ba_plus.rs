@@ -171,7 +171,11 @@ mod tests {
             .corrupt(PartyId(5), Corruption::Scripted)
             .corrupt(PartyId(6), Corruption::Scripted)
             .run(|ctx, id| {
-                let input = if id.index() < 3 { shared } else { hs[id.index()] };
+                let input = if id.index() < 3 {
+                    shared
+                } else {
+                    hs[id.index()]
+                };
                 ba_plus(ctx, input, BaKind::TurpinCoan)
             });
         for out in report.honest_outputs() {
@@ -212,7 +216,11 @@ mod tests {
             .corrupt(PartyId(5), Corruption::LyingHonest)
             .corrupt(PartyId(6), Corruption::LyingHonest)
             .run(|ctx, id| {
-                let input = if id.index() >= 5 { liar_val } else { honest_val };
+                let input = if id.index() >= 5 {
+                    liar_val
+                } else {
+                    honest_val
+                };
                 ba_plus(ctx, input, BaKind::TurpinCoan)
             });
         for out in report.honest_outputs() {

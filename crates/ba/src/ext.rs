@@ -49,6 +49,7 @@ pub fn lba_plus<V: Value>(ctx: &mut dyn Comm, input: &V, ba: BaKind) -> Option<V
     ctx.scoped("lba+", |ctx| {
         let n = ctx.n();
         let me = ctx.me();
+        // ca-lint: allow(panic-path) — (n, n−t) are local config, not wire input
         let rs = ReedSolomon::new(n, ctx.quorum()).expect("valid (n, n−t) parameters");
 
         // Step 1: erasure-code and accumulate.
@@ -117,7 +118,7 @@ mod tests {
     use ca_net::{Corruption, Sim};
 
     fn long_input(bits: usize, seed: u8) -> BitString {
-        BitString::from_bits((0..bits).map(|i| (i as u8).wrapping_mul(seed) % 3 == 0))
+        BitString::from_bits((0..bits).map(|i| (i as u8).wrapping_mul(seed).is_multiple_of(3)))
     }
 
     #[test]
@@ -151,7 +152,11 @@ mod tests {
             .corrupt(PartyId(6), Corruption::Scripted)
             .with_adversary(Garbage::new(17))
             .run(|ctx, id| {
-                let input = if id.index() < 3 { shared.clone() } else { others[id.index()].clone() };
+                let input = if id.index() < 3 {
+                    shared.clone()
+                } else {
+                    others[id.index()].clone()
+                };
                 lba_plus(ctx, &input, BaKind::TurpinCoan)
             });
         for out in report.honest_outputs() {
@@ -188,7 +193,11 @@ mod tests {
             .corrupt(PartyId(5), Corruption::LyingHonest)
             .corrupt(PartyId(6), Corruption::LyingHonest)
             .run(|ctx, id| {
-                let input = if id.index() >= 5 { liar_v.clone() } else { honest_v.clone() };
+                let input = if id.index() >= 5 {
+                    liar_v.clone()
+                } else {
+                    honest_v.clone()
+                };
                 lba_plus(ctx, &input, BaKind::TurpinCoan)
             });
         for out in report.honest_outputs() {

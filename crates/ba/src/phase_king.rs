@@ -199,7 +199,7 @@ mod tests {
         // P0 is the phase-0 king and corrupted: it splits the parties; later
         // honest kings must still converge.
         let n = 4;
-        let inputs = vec![10u64, 20, 30, 40];
+        let inputs = [10u64, 20, 30, 40];
         let report = Sim::new(n)
             .corrupt(PartyId(0), Corruption::Scripted)
             .with_adversary(KingSplitter)

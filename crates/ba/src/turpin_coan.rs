@@ -130,7 +130,10 @@ mod tests {
         let outs: Vec<u64> = report.honest_outputs().into_iter().copied().collect();
         assert!(outs.windows(2).all(|w| w[0] == w[1]));
         let v = outs[0];
-        assert!(v == 0 || inputs.contains(&v), "output {v} is neither default nor honest");
+        assert!(
+            v == 0 || inputs.contains(&v),
+            "output {v} is neither default nor honest"
+        );
     }
 
     #[test]

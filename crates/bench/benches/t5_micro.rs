@@ -88,5 +88,11 @@ fn bench_bits(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_merkle, bench_reed_solomon, bench_bits);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_reed_solomon,
+    bench_bits
+);
 criterion_main!(benches);

@@ -56,7 +56,9 @@ pub fn t1_protocol_comparison(quick: bool) {
     let ell = 1 << 14;
     let mut table = Table::new(
         "T1: communication at ℓ = 2^14 (honest bits; paper Cor. 2 vs §1 baselines)",
-        &["n", "protocol", "BITS_l", "rounds", "vs pi_n", "agree", "convex"],
+        &[
+            "n", "protocol", "BITS_l", "rounds", "vs pi_n", "agree", "convex",
+        ],
     );
     for &n in ns {
         let inputs = clustered_nats(0x71 ^ n as u64, n, ell, ell / 2);
@@ -129,9 +131,15 @@ pub fn f1_scaling_ell(quick: bool) {
 /// `HighCostCA`.
 pub fn f2_scaling_n(quick: bool) {
     let (ell_lo, ell_hi) = (1usize << 13, 1usize << 14);
-    let ns: &[usize] = if quick { &[4, 7, 10] } else { &[4, 7, 10, 13, 16] };
-    let mut series: Vec<(Protocol, Vec<(usize, f64)>)> =
-        Protocol::lineup().into_iter().map(|p| (p, Vec::new())).collect();
+    let ns: &[usize] = if quick {
+        &[4, 7, 10]
+    } else {
+        &[4, 7, 10, 13, 16]
+    };
+    let mut series: Vec<(Protocol, Vec<(usize, f64)>)> = Protocol::lineup()
+        .into_iter()
+        .map(|p| (p, Vec::new()))
+        .collect();
     let mut table = Table::new(
         "F2: marginal bits per input bit, (BITS(2^14) − BITS(2^13)) / 2^13",
         &["n", "pi_n", "broadcast_ca", "high_cost_ca"],
@@ -170,11 +178,22 @@ pub fn f2_scaling_n(quick: bool) {
 /// with phase-king `Π_BA` the dominant term is
 /// `O(log n)` BA invocations × `O(n)` rounds each.
 pub fn t2_rounds(quick: bool) {
-    let ns: &[usize] = if quick { &[4, 7, 10] } else { &[4, 7, 10, 13, 16] };
+    let ns: &[usize] = if quick {
+        &[4, 7, 10]
+    } else {
+        &[4, 7, 10, 13, 16]
+    };
     let ell = 1 << 10;
     let mut table = Table::new(
         "T2: rounds vs n at ℓ = 2^10 (paper: O(n log n) for pi_n)",
-        &["n", "pi_n", "rounds/(n·log2 n)", "high_cost_ca", "broadcast_ca(seq)", "broadcast_ca(par)"],
+        &[
+            "n",
+            "pi_n",
+            "rounds/(n·log2 n)",
+            "high_cost_ca",
+            "broadcast_ca(seq)",
+            "broadcast_ca(par)",
+        ],
     );
     for &n in ns {
         let inputs = clustered_nats(0x72 ^ n as u64, n, ell, ell / 2);
@@ -248,7 +267,11 @@ pub fn f3_breakdown(quick: bool) {
 /// `O(ℓn²)`); the gap should grow ≈ linearly in ℓ·n.
 pub fn t3_extension(quick: bool) {
     let n = 7;
-    let exps: &[usize] = if quick { &[10, 14] } else { &[8, 10, 12, 14, 16] };
+    let exps: &[usize] = if quick {
+        &[10, 14]
+    } else {
+        &[8, 10, 12, 14, 16]
+    };
     let mut table = Table::new(
         "T3: Π_ℓBA+ vs direct multi-valued BA on ℓ-bit inputs, n = 7",
         &["l=2^k", "lba+ bits", "direct tc bits", "ratio"],
@@ -325,7 +348,13 @@ pub fn f4_ba_ablation(quick: bool) {
     let ell = 1 << 10;
     let mut table = Table::new(
         "F4: Π_BA ablation (Turpin–Coan vs phase-king)",
-        &["n", "pi_n[tc] bits", "pi_n[pk] bits", "ba+[tc] bits", "ba+[pk] bits"],
+        &[
+            "n",
+            "pi_n[tc] bits",
+            "pi_n[pk] bits",
+            "ba+[tc] bits",
+            "ba+[pk] bits",
+        ],
     );
     for &n in ns {
         let inputs = clustered_nats(0xF4 ^ n as u64, n, ell, ell / 2);
@@ -367,7 +396,14 @@ pub fn f5_findprefix(quick: bool) {
     let exps: &[usize] = if quick { &[6, 10] } else { &[4, 6, 8, 10, 12] };
     let mut table = Table::new(
         "F5: FindPrefix iterations and agreed-prefix length vs ℓ, n = 7",
-        &["l=2^k", "attack", "iters", "log2(l)+1", "|PREFIX*|", "honest LCP"],
+        &[
+            "l=2^k",
+            "attack",
+            "iters",
+            "log2(l)+1",
+            "|PREFIX*|",
+            "honest LCP",
+        ],
     );
     for &k in exps {
         let ell = 1usize << k;
@@ -382,7 +418,12 @@ pub fn f5_findprefix(quick: bool) {
                 .map(|v| v.to_bits_len(ell).expect("sized"))
                 .collect();
             let honest_bits_strs: Vec<&BitString> = (0..n)
-                .filter(|i| !attack.corrupted_parties(n, t).iter().any(|p| p.index() == *i))
+                .filter(|i| {
+                    !attack
+                        .corrupted_parties(n, t)
+                        .iter()
+                        .any(|p| p.index() == *i)
+                })
                 .map(|i| &bits[i])
                 .collect();
             let lcp = honest_bits_strs
@@ -424,13 +465,18 @@ pub fn e1_approx_vs_exact(quick: bool) {
         let inputs: Vec<i64> = (0..n as i64).map(|i| 500_000 + i * 1_000).collect();
         let aa = {
             let inputs = inputs.clone();
-            Sim::new(n).run(move |ctx, id| {
-                approx_agreement(ctx, inputs[id.index()], (0, 1 << 20), 1)
-            })
+            Sim::new(n)
+                .run(move |ctx, id| approx_agreement(ctx, inputs[id.index()], (0, 1 << 20), 1))
         };
-        let ca_inputs: Vec<_> =
-            inputs.iter().map(|&v| ca_bits::Nat::from_u64(v as u64)).collect();
-        let ca = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &ca_inputs, Attack::none());
+        let ca_inputs: Vec<_> = inputs
+            .iter()
+            .map(|&v| ca_bits::Nat::from_u64(v as u64))
+            .collect();
+        let ca = run_nat_protocol(
+            Protocol::PiN(BaKind::TurpinCoan),
+            &ca_inputs,
+            Attack::none(),
+        );
         table.row_strings(vec![
             n.to_string(),
             fmt_bits(aa.metrics.honest_bits),

@@ -5,8 +5,7 @@ use ca_adversary::Attack;
 use ca_ba::BaKind;
 use ca_bits::Nat;
 use ca_core::{
-    broadcast_ca, broadcast_ca_parallel, check_agreement, check_convex_validity, high_cost_ca,
-    pi_n,
+    broadcast_ca, broadcast_ca_parallel, check_agreement, check_convex_validity, high_cost_ca, pi_n,
 };
 use ca_net::{Metrics, Sim};
 
@@ -86,9 +85,7 @@ pub fn run_nat_protocol(protocol: Protocol, inputs: &[Nat], attack: Attack) -> R
         match protocol {
             Protocol::PiN(ba) => pi_n(ctx, &input, ba),
             Protocol::BroadcastCa => broadcast_ca(ctx, input, BaKind::TurpinCoan),
-            Protocol::BroadcastCaParallel => {
-                broadcast_ca_parallel(ctx, input, BaKind::TurpinCoan)
-            }
+            Protocol::BroadcastCaParallel => broadcast_ca_parallel(ctx, input, BaKind::TurpinCoan),
             Protocol::HighCostCa => high_cost_ca(ctx, input, |_| true),
         }
     });

@@ -24,7 +24,8 @@ impl Table {
     /// Appends one row (stringifying each cell).
     pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -80,30 +81,65 @@ impl Table {
     ///
     /// # Errors
     ///
-    /// I/O or serialization failures.
+    /// I/O failures.
     pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        #[derive(serde::Serialize)]
-        struct JsonTable<'a> {
-            title: &'a str,
-            header: &'a [String],
-            rows: &'a [Vec<String>],
-        }
         std::fs::create_dir_all(dir)?;
         let slug: String = self
             .title
             .chars()
             .take_while(|c| *c != ':')
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{slug}.json"));
-        let json = serde_json::to_string_pretty(&JsonTable {
-            title: &self.title,
-            header: &self.header,
-            rows: &self.rows,
-        })
-        .map_err(std::io::Error::other)?;
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        json.push_str("  \"header\": ");
+        json.push_str(&json_string_array(&self.header));
+        json.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            json.push_str(if i == 0 { "\n" } else { ",\n" });
+            json.push_str("    ");
+            json.push_str(&json_string_array(row));
+        }
+        json.push_str(if self.rows.is_empty() {
+            "]\n}"
+        } else {
+            "\n  ]\n}"
+        });
+        json.push('\n');
         std::fs::write(path, json)
     }
+}
+
+/// Escapes `s` as a JSON string literal (RFC 8259 §7).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a flat JSON array of strings (single line).
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Formats a bit count with a thousands separator for readability.
@@ -111,7 +147,7 @@ pub fn fmt_bits(bits: u64) -> String {
     let s = bits.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push('_');
         }
         out.push(c);

@@ -92,7 +92,11 @@ impl BitString {
     ///
     /// Panics if `i >= self.len()`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         self.bytes[i / 8] & (0x80 >> (i % 8)) != 0
     }
 
@@ -102,7 +106,11 @@ impl BitString {
     ///
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, bit: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let mask = 0x80 >> (i % 8);
         if bit {
             self.bytes[i / 8] |= mask;
@@ -113,7 +121,7 @@ impl BitString {
 
     /// Appends one bit at the least-significant end.
     pub fn push(&mut self, bit: bool) {
-        if self.len % 8 == 0 {
+        if self.len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         self.len += 1;
@@ -124,7 +132,7 @@ impl BitString {
 
     /// Appends all bits of `other` (the paper's `‖` concatenation).
     pub fn extend_from(&mut self, other: &BitString) {
-        if self.len % 8 == 0 {
+        if self.len.is_multiple_of(8) {
             // Byte-aligned fast path.
             self.bytes.extend_from_slice(&other.bytes);
             self.len += other.len;
@@ -148,8 +156,12 @@ impl BitString {
     ///
     /// Panics if `start > end` or `end > self.len()`.
     pub fn slice(&self, start: usize, end: usize) -> BitString {
-        assert!(start <= end && end <= self.len, "slice {start}..{end} out of range (len {})", self.len);
-        if start % 8 == 0 {
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range (len {})",
+            self.len
+        );
+        if start.is_multiple_of(8) {
             // Byte-aligned fast path.
             let nbits = end - start;
             let bytes = self.bytes[start / 8..(start / 8) + nbits.div_ceil(8)].to_vec();
@@ -179,7 +191,11 @@ impl BitString {
     ///
     /// Panics if `n > self.len()`.
     pub fn truncate(&mut self, n: usize) {
-        assert!(n <= self.len, "truncate {n} out of range (len {})", self.len);
+        assert!(
+            n <= self.len,
+            "truncate {n} out of range (len {})",
+            self.len
+        );
         self.len = n;
         self.bytes.truncate(n.div_ceil(8));
         self.clear_tail();
@@ -225,7 +241,11 @@ impl BitString {
     ///
     /// Panics if `ell < self.len()`.
     pub fn min_extend(&self, ell: usize) -> BitString {
-        assert!(ell >= self.len, "MIN_l with l = {ell} < |prefix| = {}", self.len);
+        assert!(
+            ell >= self.len,
+            "MIN_l with l = {ell} < |prefix| = {}",
+            self.len
+        );
         let mut out = self.clone();
         out.bytes.resize(ell.div_ceil(8), 0);
         out.len = ell;
@@ -239,7 +259,11 @@ impl BitString {
     ///
     /// Panics if `ell < self.len()`.
     pub fn max_extend(&self, ell: usize) -> BitString {
-        assert!(ell >= self.len, "MAX_l with l = {ell} < |prefix| = {}", self.len);
+        assert!(
+            ell >= self.len,
+            "MAX_l with l = {ell} < |prefix| = {}",
+            self.len
+        );
         let mut out = self.clone();
         for _ in self.len..ell {
             out.push(true);
@@ -345,7 +369,10 @@ impl BitString {
     ///
     /// Panics if `bytes` is too short for `len` bits.
     pub fn from_packed(bytes: &[u8], len: usize) -> Self {
-        assert!(bytes.len() >= len.div_ceil(8), "not enough bytes for {len} bits");
+        assert!(
+            bytes.len() >= len.div_ceil(8),
+            "not enough bytes for {len} bits"
+        );
         let mut s = Self {
             bytes: bytes[..len.div_ceil(8)].to_vec(),
             len,
@@ -392,12 +419,7 @@ impl fmt::Debug for BitString {
         if self.len <= 64 {
             write!(f, "BitString(\"{self}\")")
         } else {
-            write!(
-                f,
-                "BitString(len {}, \"{}…\")",
-                self.len,
-                self.prefix(64)
-            )
+            write!(f, "BitString(len {}, \"{}…\")", self.len, self.prefix(64))
         }
     }
 }
@@ -424,7 +446,10 @@ impl Decode for BitString {
             });
         }
         let bytes = r.get_raw(nbytes)?.to_vec();
-        let s = BitString { bytes, len: len_bits };
+        let s = BitString {
+            bytes,
+            len: len_bits,
+        };
         // Enforce canonical form: a byzantine encoder may not smuggle two
         // distinct encodings of the same bitstring.
         let mut canon = s.clone();

@@ -165,14 +165,13 @@ mod tests {
             ("12345.678", 3),
         ] {
             let v = Fixed::parse(text, scale).unwrap();
-            let canonical = if text.contains('.') || scale == 0 {
-                text.to_owned()
-            } else {
-                text.to_owned()
-            };
+            let canonical = text.to_owned();
             // Display always shows exactly `scale` fraction digits.
             if scale > 0 && !text.contains('.') {
-                assert_eq!(v.to_string(), format!("{text}.{}", "0".repeat(scale as usize)));
+                assert_eq!(
+                    v.to_string(),
+                    format!("{text}.{}", "0".repeat(scale as usize))
+                );
             } else {
                 assert_eq!(v.to_string(), canonical);
             }
@@ -190,7 +189,10 @@ mod tests {
     fn precision_enforced() {
         assert!(matches!(
             Fixed::parse("1.234", 2),
-            Err(ParseFixedError::TooPrecise { digits: 3, scale: 2 })
+            Err(ParseFixedError::TooPrecise {
+                digits: 3,
+                scale: 2
+            })
         ));
         assert!(Fixed::parse("", 2).is_err());
         assert!(Fixed::parse(".", 2).is_err());

@@ -177,8 +177,8 @@ impl Nat {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = u64::from(limb) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -412,7 +412,13 @@ mod tests {
 
     #[test]
     fn decimal_round_trip() {
-        for text in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"] {
+        for text in [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+        ] {
             let n: Nat = text.parse().unwrap();
             assert_eq!(n.to_string(), text);
         }

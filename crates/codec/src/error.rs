@@ -41,6 +41,14 @@ pub enum CodecError {
         /// Bytes remaining in the input.
         available: usize,
     },
+    /// A claimed collection length exceeds the decoder's hard allocation
+    /// ceiling ([`MAX_DECODE_CAPACITY`](crate::MAX_DECODE_CAPACITY)).
+    CapacityExceeded {
+        /// Length claimed by the (possibly adversarial) encoder.
+        requested: usize,
+        /// The decoder-side ceiling.
+        limit: usize,
+    },
     /// Decoded after the value finished, but bytes remain.
     TrailingBytes {
         /// Number of unconsumed bytes.
@@ -57,7 +65,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, available } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {available} available")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {available} available"
+                )
             }
             CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             CodecError::VarintRange { type_name, value } => {
@@ -67,7 +78,16 @@ impl fmt::Display for CodecError {
                 write!(f, "invalid discriminant {value} for {type_name}")
             }
             CodecError::LengthOverrun { claimed, available } => {
-                write!(f, "claimed length {claimed} exceeds {available} available bytes")
+                write!(
+                    f,
+                    "claimed length {claimed} exceeds {available} available bytes"
+                )
+            }
+            CodecError::CapacityExceeded { requested, limit } => {
+                write!(
+                    f,
+                    "claimed length {requested} exceeds decode capacity limit {limit}"
+                )
             }
             CodecError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after value")

@@ -36,6 +36,16 @@ pub use error::CodecError;
 pub use reader::Reader;
 pub use writer::Writer;
 
+/// Hard ceiling on any single decoder-side collection length.
+///
+/// A decoded length prefix larger than this fails with
+/// [`CodecError::CapacityExceeded`] before any allocation happens. The value
+/// is deliberately above every legitimate protocol message (inputs are split
+/// into `O(ℓ/n + κ·n·log n)`-bit shares, far below this) and below anything
+/// that could pressure memory: even a worst-case `Vec<u64>` preallocation at
+/// this length stays under 129 MiB.
+pub const MAX_DECODE_CAPACITY: usize = 16 << 20;
+
 /// Types that can be deterministically serialized to bytes.
 ///
 /// Implementations must be *canonical*: equal values produce identical byte
@@ -239,8 +249,7 @@ impl<T: Encode> Encode for Vec<T> {
         }
     }
     fn encoded_len(&self) -> usize {
-        Writer::varint_len(self.len() as u64)
-            + self.iter().map(Encode::encoded_len).sum::<usize>()
+        Writer::varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
     }
 }
 
@@ -255,7 +264,13 @@ impl<T: Decode> Decode for Vec<T> {
                 available: r.remaining(),
             });
         }
-        let mut out = Vec::with_capacity(len);
+        if len > MAX_DECODE_CAPACITY {
+            return Err(CodecError::CapacityExceeded {
+                requested: len,
+                limit: MAX_DECODE_CAPACITY,
+            });
+        }
+        let mut out = Vec::with_capacity(len.min(MAX_DECODE_CAPACITY));
         for _ in 0..len {
             out.push(T::decode(r)?);
         }
@@ -409,6 +424,26 @@ mod tests {
         w.put_varint(1 << 60);
         let err = Vec::<u64>::decode_from_slice(&w.into_vec()).unwrap_err();
         assert!(matches!(err, CodecError::LengthOverrun { .. }));
+    }
+
+    #[test]
+    fn over_capacity_length_rejected_even_when_bytes_present() {
+        // A length that really is backed by input bytes, but exceeds the
+        // decoder's hard ceiling: must fail with CapacityExceeded, not
+        // allocate MAX+1 elements.
+        let claimed = MAX_DECODE_CAPACITY + 1;
+        let mut w = Writer::new();
+        w.put_varint(claimed as u64);
+        let mut bytes = w.into_vec();
+        bytes.resize(bytes.len() + claimed, 0);
+        let err = Vec::<u8>::decode_from_slice(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::CapacityExceeded {
+                requested: claimed,
+                limit: MAX_DECODE_CAPACITY,
+            }
+        );
     }
 
     #[test]

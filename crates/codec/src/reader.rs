@@ -34,8 +34,16 @@ impl<'a> Reader<'a> {
     ///
     /// [`CodecError::UnexpectedEof`] if the input is exhausted.
     pub fn get_u8(&mut self) -> Result<u8, CodecError> {
-        let slice = self.get_raw(1)?;
-        Ok(slice[0])
+        let byte = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(CodecError::UnexpectedEof {
+                needed: 1,
+                available: 0,
+            })?;
+        self.pos += 1;
+        Ok(byte)
     }
 
     /// Reads exactly `n` raw bytes.
@@ -44,13 +52,14 @@ impl<'a> Reader<'a> {
     ///
     /// [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
     pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof {
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end))
+            .ok_or(CodecError::UnexpectedEof {
                 needed: n,
                 available: self.remaining(),
-            });
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+            })?;
         self.pos += n;
         Ok(slice)
     }

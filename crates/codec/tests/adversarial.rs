@@ -1,0 +1,97 @@
+//! Adversarial decode properties: arbitrary byte streams must never panic
+//! the decoder and must never trigger allocations beyond what the input
+//! itself can justify.
+
+use ca_codec::{Decode, Encode, Reader, MAX_DECODE_CAPACITY};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decoding random bytes as any wire type returns Ok or CodecError,
+    /// never panics (the test harness would turn a panic into a failure).
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = bool::decode_from_slice(&data);
+        let _ = u8::decode_from_slice(&data);
+        let _ = u16::decode_from_slice(&data);
+        let _ = u32::decode_from_slice(&data);
+        let _ = u64::decode_from_slice(&data);
+        let _ = i64::decode_from_slice(&data);
+        let _ = usize::decode_from_slice(&data);
+        let _ = String::decode_from_slice(&data);
+        let _ = <[u8; 32]>::decode_from_slice(&data);
+        let _ = Option::<u64>::decode_from_slice(&data);
+        let _ = Vec::<u8>::decode_from_slice(&data);
+        let _ = Vec::<u64>::decode_from_slice(&data);
+        let _ = Vec::<Vec<u8>>::decode_from_slice(&data);
+        let _ = <(u64, Vec<u8>, bool)>::decode_from_slice(&data);
+    }
+
+    /// A successfully decoded collection can never hold more elements than
+    /// the input had bytes: allocation is bounded by real input, not by the
+    /// attacker's claimed length.
+    #[test]
+    fn decoded_collections_bounded_by_input(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(v) = Vec::<u8>::decode_from_slice(&data) {
+            prop_assert!(v.len() <= data.len());
+            prop_assert!(v.len() <= MAX_DECODE_CAPACITY);
+        }
+        if let Ok(v) = Vec::<u64>::decode_from_slice(&data) {
+            prop_assert!(v.len() <= data.len());
+        }
+        if let Ok(s) = String::decode_from_slice(&data) {
+            prop_assert!(s.len() <= data.len());
+        }
+    }
+
+    /// A reader over random bytes makes progress and terminates no matter
+    /// how get_* calls interleave; consumed bytes never exceed the input.
+    #[test]
+    fn reader_never_reads_past_input(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+        ops in proptest::collection::vec(0u8..4, 0..32),
+    ) {
+        let mut r = Reader::new(&data);
+        for op in ops {
+            let before = r.remaining();
+            let _ = match op {
+                0 => r.get_u8().map(|_| ()),
+                1 => r.get_varint().map(|_| ()),
+                2 => r.get_bytes().map(|_| ()),
+                _ => r.get_raw(3).map(|_| ()),
+            };
+            prop_assert!(r.remaining() <= before);
+            prop_assert!(r.remaining() <= data.len());
+        }
+    }
+
+    /// Round trips: encode → decode is the identity, and the encoding's
+    /// length matches encoded_len exactly.
+    #[test]
+    fn vec_u64_round_trips(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let bytes = v.encode_to_vec();
+        prop_assert_eq!(bytes.len(), v.encoded_len());
+        let back = Vec::<u64>::decode_from_slice(&bytes);
+        prop_assert_eq!(back.as_ref().ok(), Some(&v));
+    }
+
+    #[test]
+    fn nested_tuple_round_trips(a in any::<u64>(), b in proptest::collection::vec(any::<u8>(), 0..64), c in any::<bool>()) {
+        let v = (a, b, c);
+        let bytes = v.encode_to_vec();
+        prop_assert_eq!(bytes.len(), v.encoded_len());
+        let back = <(u64, Vec<u8>, bool)>::decode_from_slice(&bytes);
+        prop_assert_eq!(back.ok(), Some(v));
+    }
+
+    /// Truncating a valid encoding anywhere strictly inside it must fail
+    /// cleanly (no panic, no bogus success for self-delimiting types).
+    #[test]
+    fn truncation_fails_cleanly(v in proptest::collection::vec(any::<u64>(), 1..32), cut in any::<u64>()) {
+        let bytes = v.encode_to_vec();
+        let cut = (cut as usize) % bytes.len();
+        let res = Vec::<u64>::decode_from_slice(&bytes[..cut]);
+        prop_assert!(res.is_err());
+    }
+}

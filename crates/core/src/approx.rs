@@ -50,12 +50,7 @@ use ca_net::{Comm, CommExt};
 /// # Panics
 ///
 /// Panics if `epsilon == 0` or `range.0 > range.1`.
-pub fn approx_agreement(
-    ctx: &mut dyn Comm,
-    input: i64,
-    range: (i64, i64),
-    epsilon: u64,
-) -> i64 {
+pub fn approx_agreement(ctx: &mut dyn Comm, input: i64, range: (i64, i64), epsilon: u64) -> i64 {
     assert!(epsilon > 0, "epsilon must be positive");
     let (lo, hi) = range;
     assert!(lo <= hi, "empty range");
@@ -111,15 +106,18 @@ mod tests {
         let lo = *honest_inputs.iter().min().unwrap();
         let hi = *honest_inputs.iter().max().unwrap();
         for v in outs {
-            assert!(*v >= lo && *v <= hi, "validity violated: {v} ∉ [{lo}, {hi}]");
+            assert!(
+                *v >= lo && *v <= hi,
+                "validity violated: {v} ∉ [{lo}, {hi}]"
+            );
         }
     }
 
     #[test]
     fn honest_convergence() {
         let inputs = [0i64, 100, 37, 90, 55, 12, 76];
-        let report = Sim::new(7)
-            .run(|ctx, id| approx_agreement(ctx, inputs[id.index()], (0, 1000), 1));
+        let report =
+            Sim::new(7).run(|ctx, id| approx_agreement(ctx, inputs[id.index()], (0, 1000), 1));
         let outs: Vec<i64> = report.honest_outputs().into_iter().copied().collect();
         assert_aa(&outs, &inputs, 1);
     }
@@ -135,7 +133,10 @@ mod tests {
             .run(|ctx, id| approx_agreement(ctx, inputs[id.index()], (0, 1024), 256))
             .metrics
             .rounds;
-        assert!(r256 < r1, "coarser ε must need fewer rounds ({r256} vs {r1})");
+        assert!(
+            r256 < r1,
+            "coarser ε must need fewer rounds ({r256} vs {r1})"
+        );
     }
 
     #[test]
@@ -154,7 +155,11 @@ mod tests {
                     _ => s.with_adversary(Equivocate::new(43)),
                 };
                 s.run(|ctx, id| {
-                    let input = if id.index() < 5 { honest[id.index()] } else { 0 };
+                    let input = if id.index() < 5 {
+                        honest[id.index()]
+                    } else {
+                        0
+                    };
                     approx_agreement(ctx, input, (0, 1_000_000), 4)
                 })
             };

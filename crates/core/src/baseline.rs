@@ -112,12 +112,10 @@ mod tests {
     #[test]
     fn parallel_variant_matches_sequential_and_saves_rounds() {
         let inputs = [10u64, 30, 20, 25];
-        let seq = Sim::new(4).run(|ctx, id| {
-            broadcast_ca(ctx, inputs[id.index()], BaKind::TurpinCoan)
-        });
-        let par = Sim::new(4).run(|ctx, id| {
-            broadcast_ca_parallel(ctx, inputs[id.index()], BaKind::TurpinCoan)
-        });
+        let seq =
+            Sim::new(4).run(|ctx, id| broadcast_ca(ctx, inputs[id.index()], BaKind::TurpinCoan));
+        let par = Sim::new(4)
+            .run(|ctx, id| broadcast_ca_parallel(ctx, inputs[id.index()], BaKind::TurpinCoan));
         assert_eq!(seq.honest_outputs(), par.honest_outputs());
         assert!(
             par.metrics.rounds * 2 < seq.metrics.rounds,
@@ -144,11 +142,15 @@ mod tests {
                 }
                 _ => inputs[..n - t].to_vec(),
             };
-            let report = attack.install(Sim::new(n), n, t).run(|ctx, id| {
-                broadcast_ca_parallel(ctx, inputs[id.index()], BaKind::TurpinCoan)
-            });
+            let report = attack
+                .install(Sim::new(n), n, t)
+                .run(|ctx, id| broadcast_ca_parallel(ctx, inputs[id.index()], BaKind::TurpinCoan));
             let outs: Vec<u64> = report.honest_outputs().into_iter().copied().collect();
-            assert!(outs.windows(2).all(|w| w[0] == w[1]), "agreement [{}]", attack.name());
+            assert!(
+                outs.windows(2).all(|w| w[0] == w[1]),
+                "agreement [{}]",
+                attack.name()
+            );
             let lo = honest.iter().min().unwrap();
             let hi = honest.iter().max().unwrap();
             assert!(
@@ -174,9 +176,8 @@ mod tests {
     #[test]
     fn honest_run() {
         let inputs = [10u64, 30, 20, 25];
-        let report = Sim::new(4).run(|ctx, id| {
-            broadcast_ca(ctx, inputs[id.index()], BaKind::TurpinCoan)
-        });
+        let report =
+            Sim::new(4).run(|ctx, id| broadcast_ca(ctx, inputs[id.index()], BaKind::TurpinCoan));
         let outs: Vec<u64> = report.honest_outputs().into_iter().copied().collect();
         assert_ca(&outs, &inputs);
     }
@@ -202,9 +203,9 @@ mod tests {
                 }
                 _ => inputs[..n - t].to_vec(),
             };
-            let report = attack.install(Sim::new(n), n, t).run(|ctx, id| {
-                broadcast_ca(ctx, inputs[id.index()], BaKind::TurpinCoan)
-            });
+            let report = attack
+                .install(Sim::new(n), n, t)
+                .run(|ctx, id| broadcast_ca(ctx, inputs[id.index()], BaKind::TurpinCoan));
             let outs: Vec<u64> = report.honest_outputs().into_iter().copied().collect();
             assert_ca(&outs, &honest);
         }

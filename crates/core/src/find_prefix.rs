@@ -16,8 +16,8 @@
 //!   precondition `GetOutput` later needs — and the search continues to
 //!   the left.
 
-use ca_bits::BitString;
 use ca_ba::{lba_plus, BaKind};
+use ca_bits::BitString;
 use ca_net::{Comm, CommExt};
 
 /// Outcome of a prefix search (`FindPrefix` / `FindPrefixBlocks`).
@@ -71,12 +71,7 @@ pub struct PrefixSearch {
 /// # Panics
 ///
 /// Panics if `v_in.len() != ell` or `ell == 0`.
-pub fn find_prefix(
-    ctx: &mut dyn Comm,
-    ell: usize,
-    v_in: &BitString,
-    ba: BaKind,
-) -> PrefixSearch {
+pub fn find_prefix(ctx: &mut dyn Comm, ell: usize, v_in: &BitString, ba: BaKind) -> PrefixSearch {
     search(ctx, ell, 1, v_in, ba)
 }
 
@@ -98,7 +93,7 @@ pub fn find_prefix_blocks(
 ) -> PrefixSearch {
     let n2 = ctx.n() * ctx.n();
     assert!(
-        ell > 0 && ell % n2 == 0,
+        ell > 0 && ell.is_multiple_of(n2),
         "ℓ = {ell} must be a positive multiple of n² = {n2}"
     );
     search(ctx, ell, ell / n2, v_in, ba)
@@ -213,7 +208,10 @@ mod tests {
             assert!(v >= Nat::from_u64(100) && v <= Nat::from_u64(140), "{v:?}");
             // v_bot is valid too.
             let vb = out.v_bot.val();
-            assert!(vb >= Nat::from_u64(100) && vb <= Nat::from_u64(140), "{vb:?}");
+            assert!(
+                vb >= Nat::from_u64(100) && vb <= Nat::from_u64(140),
+                "{vb:?}"
+            );
         }
         // The common prefix of 100..140 (01100100..10001100) is empty;
         // the agreed prefix must still be SOME valid value's prefix:

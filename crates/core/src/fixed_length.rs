@@ -1,8 +1,8 @@
 //! `FixedLengthCA` (§3, Theorem 2): CA for `ℓ`-bit naturals with `ℓ`
 //! publicly known.
 
-use ca_bits::BitString;
 use ca_ba::BaKind;
+use ca_bits::BitString;
 use ca_net::{Comm, CommExt};
 
 use crate::{add_last_bit, find_prefix, get_output};
@@ -39,12 +39,7 @@ use crate::{add_last_bit, find_prefix, get_output};
 /// # Panics
 ///
 /// Panics if `v_in.len() != ell` or `ell == 0`.
-pub fn fixed_length_ca(
-    ctx: &mut dyn Comm,
-    ell: usize,
-    v_in: &BitString,
-    ba: BaKind,
-) -> BitString {
+pub fn fixed_length_ca(ctx: &mut dyn Comm, ell: usize, v_in: &BitString, ba: BaKind) -> BitString {
     ctx.scoped("flca", |ctx| {
         // Step 1: agree on a valid prefix (and pick up the v, v⊥ witnesses).
         let search = find_prefix(ctx, ell, v_in, ba);

@@ -7,8 +7,8 @@
 //! by one `HighCostCA` run on `ℓ/n²`-bit inputs (cheap: `O(ℓ/n² · n³) =
 //! O(ℓn)` bits).
 
-use ca_bits::BitString;
 use ca_ba::BaKind;
+use ca_bits::BitString;
 use ca_net::{Comm, CommExt};
 
 use crate::{add_last_block, find_prefix_blocks, get_output};
@@ -34,7 +34,7 @@ pub fn fixed_length_ca_blocks(
 ) -> BitString {
     let n2 = ctx.n() * ctx.n();
     assert!(
-        ell > 0 && ell % n2 == 0,
+        ell > 0 && ell.is_multiple_of(n2),
         "ℓ = {ell} must be a positive multiple of n² = {n2}"
     );
     let block_len = ell / n2;
@@ -66,7 +66,7 @@ mod tests {
     fn long_values_agree_convexly() {
         let n = 4;
         let ell = n * n * 64; // 1024 bits
-        // Large values sharing a long prefix then diverging.
+                              // Large values sharing a long prefix then diverging.
         let base = Nat::pow2(900);
         let inputs: Vec<Nat> = (0..n as u64)
             .map(|i| base.add(&Nat::from_u64(i * 1_000_000)))
@@ -75,7 +75,11 @@ mod tests {
             let bits = inputs[id.index()].to_bits_len(ell).unwrap();
             fixed_length_ca_blocks(ctx, ell, &bits, BaKind::TurpinCoan)
         });
-        let outs: Vec<Nat> = report.honest_outputs().into_iter().map(|b| b.val()).collect();
+        let outs: Vec<Nat> = report
+            .honest_outputs()
+            .into_iter()
+            .map(|b| b.val())
+            .collect();
         assert_ca(&outs, &inputs);
     }
 
@@ -120,8 +124,11 @@ mod tests {
                 let bits = inputs[id.index()].to_bits_len(ell).unwrap();
                 fixed_length_ca_blocks(ctx, ell, &bits, BaKind::TurpinCoan)
             });
-            let outs: Vec<Nat> =
-                report.honest_outputs().into_iter().map(|b| b.val()).collect();
+            let outs: Vec<Nat> = report
+                .honest_outputs()
+                .into_iter()
+                .map(|b| b.val())
+                .collect();
             assert_ca(&outs, &honest);
         }
     }

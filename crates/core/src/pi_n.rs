@@ -26,8 +26,8 @@
 //! `2^{ℓ_EST}−1`), so we use strict `>` in both paths, matching the proof
 //! text ("if an honest party's input value is **longer than** ℓ_EST bits").
 
-use ca_bits::{BitString, Nat};
 use ca_ba::BaKind;
+use ca_bits::{BitString, Nat};
 use ca_net::{Comm, CommExt};
 
 use crate::{fixed_length_ca, fixed_length_ca_blocks, high_cost_ca};
@@ -56,9 +56,7 @@ pub fn pi_n(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
         let n2 = n * n;
 
         // Line 1: decide the regime.
-        let long = ctx.scoped("path_ba", |ctx| {
-            ba.run_bit(ctx, v_in.bit_len() > n2)
-        });
+        let long = ctx.scoped("path_ba", |ctx| ba.run_bit(ctx, v_in.bit_len() > n2));
 
         if !long {
             // --- Short path ---
@@ -73,14 +71,13 @@ pub fn pi_n(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
             let max_i = usize::max(1, n2.next_power_of_two().trailing_zeros() as usize);
             for i in 0..=max_i {
                 let ell = 1usize << i;
-                let fits = ctx.scoped("len_est", |ctx| {
-                    ba.run_bit(ctx, v.bit_len() > ell)
-                });
+                let fits = ctx.scoped("len_est", |ctx| ba.run_bit(ctx, v.bit_len() > ell));
                 if !fits {
                     // Agreed: some honest party fits in 2^i bits.
                     if v.bit_len() > ell {
                         v = Nat::all_ones(ell);
                     }
+                    // ca-lint: allow(panic-path) — v was clamped to ℓ bits two lines up
                     let bits = v.to_bits_len(ell).expect("clamped to ℓ bits");
                     return fixed_length_ca(ctx, ell, &bits, ba).val();
                 }
@@ -91,14 +88,14 @@ pub fn pi_n(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
             if v.bit_len() > ell {
                 v = Nat::all_ones(ell);
             }
+            // ca-lint: allow(panic-path) — v was clamped to ℓ bits two lines up
             let bits = v.to_bits_len(ell).expect("clamped");
             fixed_length_ca(ctx, ell, &bits, ba).val()
         } else {
             // --- Long path ---
             // Lines 9–10: agree on a block size within the honest range.
             let blocksize = v_in.bit_len().div_ceil(n2) as u64;
-            let blocksize =
-                ctx.scoped("blocksize", |ctx| high_cost_ca(ctx, blocksize, |_| true));
+            let blocksize = ctx.scoped("blocksize", |ctx| high_cost_ca(ctx, blocksize, |_| true));
             if blocksize == 0 {
                 // ⌈ℓ_min/n²⌉ = 0 ⇒ some honest party holds 0; 0 is valid.
                 return Nat::zero();
@@ -109,6 +106,7 @@ pub fn pi_n(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
             } else {
                 v_in.clone()
             };
+            // ca-lint: allow(panic-path) — v was clamped to ℓ_EST bits two lines up
             let bits: BitString = v.to_bits_len(ell_est).expect("clamped to ℓ_EST bits");
             fixed_length_ca_blocks(ctx, ell_est, &bits, ba).val()
         }
@@ -153,7 +151,10 @@ mod tests {
 
     #[test]
     fn short_mixed() {
-        let inputs: Vec<Nat> = [5u64, 900, 42, 77].iter().map(|&v| Nat::from_u64(v)).collect();
+        let inputs: Vec<Nat> = [5u64, 900, 42, 77]
+            .iter()
+            .map(|&v| Nat::from_u64(v))
+            .collect();
         let outs = run_pi_n(4, inputs.clone(), Attack::none());
         assert_ca(&outs, &inputs);
     }
@@ -200,8 +201,9 @@ mod tests {
         let n = 7;
         let t = 2;
         for attack in Attack::standard_suite(17) {
-            let mut inputs: Vec<Nat> =
-                (0..n as u64).map(|i| Nat::from_u64(1_000_000 + i)).collect();
+            let mut inputs: Vec<Nat> = (0..n as u64)
+                .map(|i| Nat::from_u64(1_000_000 + i))
+                .collect();
             if attack.is_lying() {
                 for (idx, p) in attack.corrupted_parties(n, t).iter().enumerate() {
                     inputs[p.index()] = match attack.lie_for(idx).unwrap() {

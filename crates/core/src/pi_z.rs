@@ -5,8 +5,8 @@
 //! honest party, so 0 lies between that party's value and the resetting
 //! party's value); then `Π_ℕ` on magnitudes.
 
-use ca_bits::{Int, Nat, Sign};
 use ca_ba::BaKind;
+use ca_bits::{Int, Nat, Sign};
 use ca_net::{Comm, CommExt};
 
 use crate::pi_n;
@@ -18,9 +18,7 @@ use crate::pi_n;
 /// `BITSℓ(Π_ℤ) = O(ℓn + κ·n²·log²n)`, `ROUNDSℓ(Π_ℤ) = O(n log n)`.
 pub fn pi_z(ctx: &mut dyn Comm, input: &Int, ba: BaKind) -> Int {
     ctx.scoped("pi_z", |ctx| {
-        let sign_out = ctx.scoped("sign_ba", |ctx| {
-            ba.run_bit(ctx, input.sign().as_bit())
-        });
+        let sign_out = ctx.scoped("sign_ba", |ctx| ba.run_bit(ctx, input.sign().as_bit()));
         let sign_out = Sign::from_bit(sign_out);
         let magnitude = if sign_out == input.sign() {
             input.magnitude().clone()
@@ -68,7 +66,10 @@ mod tests {
 
     #[test]
     fn mixed_signs_stay_convex() {
-        let inputs: Vec<Int> = [-5i64, 3, -1, 2].iter().map(|&v| Int::from_i64(v)).collect();
+        let inputs: Vec<Int> = [-5i64, 3, -1, 2]
+            .iter()
+            .map(|&v| Int::from_i64(v))
+            .collect();
         let outs = run_pi_z(4, inputs.clone(), Attack::none());
         assert_ca(&outs, &inputs);
     }
@@ -104,8 +105,7 @@ mod tests {
         let n = 7;
         let t = 2;
         for attack in Attack::standard_suite(23) {
-            let mut inputs: Vec<Int> =
-                (0..n as i64).map(|i| Int::from_i64(-1000 - i)).collect();
+            let mut inputs: Vec<Int> = (0..n as i64).map(|i| Int::from_i64(-1000 - i)).collect();
             if attack.is_lying() {
                 for (idx, p) in attack.corrupted_parties(n, t).iter().enumerate() {
                     inputs[p.index()] = match attack.lie_for(idx).unwrap() {

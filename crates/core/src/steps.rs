@@ -1,8 +1,8 @@
 //! `AddLastBit` (§3, Lemma 2), `AddLastBlock` (§4, Lemma 5) and
 //! `GetOutput` (§3, Lemma 3): turning the agreed prefix into an output.
 
-use ca_bits::BitString;
 use ca_ba::BaKind;
+use ca_bits::BitString;
 use ca_net::{Comm, CommExt};
 
 use crate::high_cost_ca;
@@ -58,8 +58,14 @@ pub fn add_last_block(
     prefix: &BitString,
     ba: BaKind,
 ) -> BitString {
-    assert!(block_len > 0 && ell % block_len == 0, "bad block geometry");
-    assert!(prefix.len() % block_len == 0, "prefix must be whole blocks");
+    assert!(
+        block_len > 0 && ell.is_multiple_of(block_len),
+        "bad block geometry"
+    );
+    assert!(
+        prefix.len().is_multiple_of(block_len),
+        "prefix must be whole blocks"
+    );
     assert!(prefix.len() < ell, "prefix already ℓ bits");
     assert!(prefix.is_prefix_of(v), "own value must extend the prefix");
     let _ = ba;
@@ -114,7 +120,11 @@ pub fn get_output(
             ctx.send_all(&b);
         }
         let inbox = ctx.next_round();
-        let bits: Vec<bool> = inbox.decode_each::<bool>().into_iter().map(|(_, b)| b).collect();
+        let bits: Vec<bool> = inbox
+            .decode_each::<bool>()
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
         let m = bits.len();
         let ones = bits.iter().filter(|b| **b).count();
         // CHOICE := a bit received from ≥ ⌈m/2⌉ parties (Lemma 3 shows any

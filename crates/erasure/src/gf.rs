@@ -28,8 +28,8 @@ fn tables() -> &'static Tables {
         let mut exp = vec![0u16; 2 * ORDER];
         let mut log = vec![0u16; 1 << 16];
         let mut x: u32 = 1;
-        for i in 0..ORDER {
-            exp[i] = x as u16;
+        for (i, e) in exp.iter_mut().enumerate().take(ORDER) {
+            *e = x as u16;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & 0x10000 != 0 {
@@ -67,12 +67,14 @@ impl Gf {
 
     /// Field addition (XOR; also subtraction in characteristic 2).
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: named ops keep call sites explicit about GF semantics
     pub fn add(self, other: Gf) -> Gf {
         Gf(self.0 ^ other.0)
     }
 
     /// Field multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: named ops keep call sites explicit about GF semantics
     pub fn mul(self, other: Gf) -> Gf {
         if self.0 == 0 || other.0 == 0 {
             return Gf::ZERO;
@@ -88,14 +90,14 @@ impl Gf {
     ///
     /// Panics if `other` is zero.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: named ops keep call sites explicit about GF semantics
     pub fn div(self, other: Gf) -> Gf {
         assert!(other.0 != 0, "division by zero in GF(2^16)");
         if self.0 == 0 {
             return Gf::ZERO;
         }
         let t = tables();
-        let idx =
-            t.log[self.0 as usize] as usize + ORDER - t.log[other.0 as usize] as usize;
+        let idx = t.log[self.0 as usize] as usize + ORDER - t.log[other.0 as usize] as usize;
         Gf(t.exp[idx])
     }
 

@@ -144,7 +144,11 @@ impl ReedSolomon {
         let parity_matrix = (k..n)
             .map(|row| lagrange_row(&data_points, Gf::alpha(row)))
             .collect();
-        Ok(Self { n, k, parity_matrix })
+        Ok(Self {
+            n,
+            k,
+            parity_matrix,
+        })
     }
 
     /// Total number of shares `n`.
@@ -372,7 +376,10 @@ mod tests {
             (0, shares[0].clone()),
             (1, shares[1].clone()),
         ];
-        assert!(matches!(rs.decode(&pairs), Err(RsError::NotEnoughShares { .. })));
+        assert!(matches!(
+            rs.decode(&pairs),
+            Err(RsError::NotEnoughShares { .. })
+        ));
     }
 
     #[test]
@@ -401,7 +408,10 @@ mod tests {
         let shares = rs.encode(&data);
         let share_bytes = shares[0].byte_len();
         // ~ 100_000 / 21 ≈ 4762 plus framing slack.
-        assert!(share_bytes < 100_000 / 21 + 64, "share too big: {share_bytes}");
+        assert!(
+            share_bytes < 100_000 / 21 + 64,
+            "share too big: {share_bytes}"
+        );
     }
 
     #[test]

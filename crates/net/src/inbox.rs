@@ -62,10 +62,7 @@ impl Inbox {
     /// malformed ones. Result is ordered by sender id.
     pub fn decode_each<T: Decode>(&self) -> Vec<(PartyId, T)> {
         (0..self.by_sender.len())
-            .filter_map(|i| {
-                self.decode_from::<T>(PartyId(i))
-                    .map(|v| (PartyId(i), v))
-            })
+            .filter_map(|i| self.decode_from::<T>(PartyId(i)).map(|v| (PartyId(i), v)))
             .collect()
     }
 

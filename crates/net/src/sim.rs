@@ -90,7 +90,11 @@ impl Sim {
     ///
     /// Panics unless `3t < n`.
     pub fn with_t(mut self, t: usize) -> Self {
-        assert!(3 * t < self.n, "resilience requires t < n/3 (t = {t}, n = {})", self.n);
+        assert!(
+            3 * t < self.n,
+            "resilience requires t < n/3 (t = {t}, n = {})",
+            self.n
+        );
         self.t = t;
         self
     }
@@ -107,7 +111,11 @@ impl Sim {
             .iter()
             .filter(|c| **c != Corruption::Honest)
             .count();
-        assert!(count <= self.t, "more than t = {} static corruptions", self.t);
+        assert!(
+            count <= self.t,
+            "more than t = {} static corruptions",
+            self.t
+        );
         self
     }
 
@@ -233,9 +241,14 @@ impl Sim {
                 let mut scopes: Vec<(usize, String)> = Vec::new();
                 let mut expected = live.clone();
                 while !expected.is_empty() {
+                    // ca-lint: allow(panic-path) — in-process simulator channel, not a network path
                     let sub = submit_rx.recv().expect("live parties hold senders");
                     match sub {
-                        Submission::Round { from, sends: s, scope } => {
+                        Submission::Round {
+                            from,
+                            sends: s,
+                            scope,
+                        } => {
                             // Stray submissions from adaptively-corrupted
                             // zombies are discarded.
                             if !expected.remove(&from) {
@@ -245,7 +258,11 @@ impl Sim {
                             scopes.push((from, scope));
                             sends.push((from, s));
                         }
-                        Submission::Done { from, output, sends: s } => {
+                        Submission::Done {
+                            from,
+                            output,
+                            sends: s,
+                        } => {
                             if !expected.remove(&from) {
                                 continue;
                             }
@@ -256,7 +273,8 @@ impl Sim {
                             sends.push((from, s));
                         }
                         Submission::Panicked { from, info } => {
-                            panic!("party P{from} panicked: {info}");
+                            // ca-lint: allow(panic-path) — the simulator deliberately surfaces
+                            panic!("party P{from} panicked: {info}"); // a party-thread panic to the driving test
                         }
                     }
                 }
@@ -301,8 +319,7 @@ impl Sim {
                 }
 
                 // --- Metering + delivery assembly. ---
-                let mut inboxes: Vec<Inbox> =
-                    (0..n).map(|_| Inbox::with_parties(n)).collect();
+                let mut inboxes: Vec<Inbox> = (0..n).map(|_| Inbox::with_parties(n)).collect();
                 for (from, msgs) in &sends {
                     let from_id = PartyId(*from);
                     let is_corrupt = corrupted.contains(&from_id);
@@ -481,6 +498,7 @@ impl<O> Comm for PartyCtx<O> {
                 sends,
                 scope,
             })
+            // ca-lint: allow(panic-path) — in-process simulator channel, not a network path
             .expect("executor alive");
         match self.deliver_rx.recv() {
             Ok(Directive::Deliver(inbox)) => inbox,
@@ -527,7 +545,11 @@ mod tests {
             let mut sum = 0u64;
             for r in 0..3u64 {
                 let inbox = ctx.exchange(&(r + id.0 as u64));
-                sum += inbox.decode_each::<u64>().iter().map(|(_, v)| v).sum::<u64>();
+                sum += inbox
+                    .decode_each::<u64>()
+                    .iter()
+                    .map(|(_, v)| v)
+                    .sum::<u64>();
             }
             sum
         });
@@ -579,7 +601,11 @@ mod tests {
             .corrupt(PartyId(1), Corruption::LyingHonest)
             .run(|ctx, id| {
                 let inbox = ctx.exchange(&(if id.0 == 1 { 999u64 } else { 7 }));
-                inbox.decode_each::<u64>().iter().map(|(_, v)| *v).sum::<u64>()
+                inbox
+                    .decode_each::<u64>()
+                    .iter()
+                    .map(|(_, v)| *v)
+                    .sum::<u64>()
             });
         // Lying party's message was delivered (999 + 3×7 = 1020)…
         for out in report.honest_outputs() {

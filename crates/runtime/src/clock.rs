@@ -1,0 +1,95 @@
+//! ca-lint: allow(nondeterminism) — this module is the one sanctioned
+//! clock-injection boundary: `MonotonicClock` wraps `Instant` here so no
+//! other runtime code has to touch the wall clock directly.
+//!
+//! Injectable time source for the TCP transport.
+//!
+//! The round loop in [`TcpParty`](crate::TcpParty) needs a notion of "Δ has
+//! elapsed". Reading `Instant::now()` inline makes runs unreproducible and
+//! untestable, so the deadline logic is written against this trait instead:
+//! production uses [`MonotonicClock`], tests use [`ManualClock`] and advance
+//! time explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source, reporting elapsed time since an arbitrary
+/// (per-clock) epoch.
+pub trait Clock: Send {
+    /// Time elapsed since this clock's epoch. Must be monotonic.
+    fn now(&self) -> Duration;
+}
+
+/// Real time: elapsed [`Instant`] since clock construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A test clock that only moves when told to.
+///
+/// Clones share the same underlying time, so a test can hold one handle
+/// while the transport holds another.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_when_told() {
+        let clock = ManualClock::new();
+        let handle = clock.clone();
+        assert_eq!(clock.now(), Duration::ZERO);
+        handle.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+        handle.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let clock = MonotonicClock::default();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

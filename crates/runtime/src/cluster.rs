@@ -50,9 +50,11 @@ impl TcpCluster {
         F: Fn(&mut dyn Comm, PartyId) -> O + Send + Sync,
     {
         // Reserve n free localhost ports.
+        // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count
         let mut addrs: Vec<SocketAddr> = Vec::with_capacity(self.n);
         {
             // Hold the listeners until all ports are chosen, then drop.
+            // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count
             let mut holders = Vec::with_capacity(self.n);
             for _ in 0..self.n {
                 let l = StdTcpListener::bind(("127.0.0.1", 0))?;
@@ -63,6 +65,7 @@ impl TcpCluster {
 
         let delta = self.delta;
         std::thread::scope(|scope| {
+            // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count
             let mut handles = Vec::with_capacity(self.n);
             for i in 0..self.n {
                 let addrs = addrs.clone();
@@ -83,7 +86,36 @@ impl TcpCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Clock, ManualClock, TcpParty};
     use ca_net::CommExt;
+
+    /// A party driven by a [`ManualClock`] that never ticks still completes
+    /// rounds: with no live peers to wait on, `next_round` must not consult
+    /// the wall clock at all. This pins the clock-injection seam.
+    #[test]
+    fn manual_clock_party_runs_rounds_without_wall_time() {
+        let l = StdTcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = l.local_addr().unwrap();
+        drop(l);
+        let clock = ManualClock::new();
+        let mut comm = TcpParty::establish_with_clock(
+            PartyId(0),
+            &[addr],
+            Duration::from_secs(3600),
+            Box::new(clock.clone()),
+        )
+        .unwrap();
+        for r in 0..3u64 {
+            let inbox = comm.exchange(&r);
+            let got: Vec<u64> = inbox
+                .decode_each::<u64>()
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            assert_eq!(got, vec![r]);
+        }
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
 
     #[test]
     fn all_to_all_over_tcp() {
@@ -91,8 +123,11 @@ mod tests {
             .with_delta(Duration::from_millis(1000))
             .run(|ctx, id| {
                 let inbox = ctx.exchange(&(id.index() as u64 + 100));
-                let mut vals: Vec<u64> =
-                    inbox.decode_each::<u64>().into_iter().map(|(_, v)| v).collect();
+                let mut vals: Vec<u64> = inbox
+                    .decode_each::<u64>()
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
                 vals.sort_unstable();
                 vals
             })

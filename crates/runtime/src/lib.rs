@@ -34,10 +34,12 @@
 //! assert_eq!(outputs, vec![4, 4, 4, 4]);
 //! ```
 
+mod clock;
 mod cluster;
 mod frame;
 mod party;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cluster::TcpCluster;
 pub use frame::Frame;
 pub use party::{RuntimeError, TcpParty};

@@ -1,11 +1,11 @@
 //! One TCP party: socket plumbing plus the `Comm` implementation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::mpsc as std_mpsc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use ca_codec::{Decode, Encode};
@@ -14,6 +14,7 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc as tokio_mpsc;
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::Frame;
 
 /// Errors from establishing or running a TCP party.
@@ -79,7 +80,9 @@ pub struct TcpParty {
     /// Inbound events from all reader tasks.
     events: std_mpsc::Receiver<Event>,
     /// Messages received for rounds we have not reached yet.
-    future_msgs: HashMap<u64, Vec<(usize, Bytes)>>,
+    future_msgs: BTreeMap<u64, Vec<(usize, Bytes)>>,
+    /// Time source for the Δ deadline; injectable for tests.
+    clock: Box<dyn Clock>,
     /// Highest EOR round seen per peer.
     eor: Vec<u64>,
     /// Peers whose stream ended.
@@ -101,6 +104,22 @@ impl TcpParty {
         me: PartyId,
         addrs: &[SocketAddr],
         delta: Duration,
+    ) -> Result<Self, RuntimeError> {
+        Self::establish_with_clock(me, addrs, delta, Box::new(MonotonicClock::default()))
+    }
+
+    /// [`TcpParty::establish`] with an explicit time source, so tests can
+    /// drive the Δ deadline with a [`ManualClock`](crate::ManualClock).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] if sockets cannot be bound/connected or a peer
+    /// handshake is malformed.
+    pub fn establish_with_clock(
+        me: PartyId,
+        addrs: &[SocketAddr],
+        delta: Duration,
+        clock: Box<dyn Clock>,
     ) -> Result<Self, RuntimeError> {
         let n = addrs.len();
         let t = ca_net::max_faults(n);
@@ -176,7 +195,8 @@ impl TcpParty {
             scopes: Vec::new(),
             writers,
             events: event_rx,
-            future_msgs: HashMap::new(),
+            future_msgs: BTreeMap::new(),
+            clock,
             eor: vec![0; n],
             gone: {
                 let mut g = vec![false; n];
@@ -238,11 +258,10 @@ impl Comm for TcpParty {
         }
 
         // Wait for all live peers' markers, at most Δ.
-        let deadline = Instant::now() + self.delta;
+        let deadline = self.clock.now().saturating_add(self.delta);
         while (0..self.n).any(|p| !self.peer_done(p, round)) {
-            let now = Instant::now();
-            let Some(budget) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
-            else {
+            let now = self.clock.now();
+            let Some(budget) = deadline.checked_sub(now).filter(|d| !d.is_zero()) else {
                 break;
             };
             match self.events.recv_timeout(budget) {
@@ -299,12 +318,13 @@ async fn establish_clique(
 ) -> Result<Vec<(usize, TcpStream)>, RuntimeError> {
     let n = addrs.len();
     let listener = TcpListener::bind(addrs[me.index()]).await?;
+    // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count
     let mut streams: Vec<(usize, TcpStream)> = Vec::with_capacity(n.saturating_sub(1));
 
     // Dial everyone below us (with retry while they come up).
-    for peer in 0..me.index() {
+    for (peer, addr) in addrs.iter().enumerate().take(me.index()) {
         let stream = loop {
-            match TcpStream::connect(addrs[peer]).await {
+            match TcpStream::connect(*addr).await {
                 Ok(s) => break s,
                 Err(_) => tokio::time::sleep(Duration::from_millis(20)).await,
             }

@@ -45,7 +45,11 @@ fn main() {
     let honest = &prices[..n - t];
 
     println!("oracle committee: n = {n}, t = {t}");
-    println!("honest price band: [{}, {}]", honest.iter().min().unwrap(), honest.iter().max().unwrap());
+    println!(
+        "honest price band: [{}, {}]",
+        honest.iter().min().unwrap(),
+        honest.iter().max().unwrap()
+    );
     println!("published price:   {}", outputs[0]);
     println!(
         "agreement: {}   convex validity: {}",

@@ -42,7 +42,10 @@ fn main() {
     let ba_report = build().run(|ctx, id| turpin_coan(ctx, inputs[id.index()].clone()));
     let ba_out = (*ba_report.honest_outputs()[0]).clone();
     let ba_centi = ba_out.to_i128().unwrap_or_default();
-    println!("plain Byzantine Agreement output: {}", celsius(ba_centi as i64));
+    println!(
+        "plain Byzantine Agreement output: {}",
+        celsius(ba_centi as i64)
+    );
     let honest_inputs = &inputs[..n - t];
     println!(
         "  within honest range? {}",

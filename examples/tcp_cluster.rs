@@ -13,7 +13,10 @@ use convex_agreement::runtime::TcpCluster;
 
 fn main() {
     let n = 4;
-    let inputs: Vec<Int> = vec![100, 104, 96, 101].into_iter().map(Int::from_i64).collect();
+    let inputs: Vec<Int> = vec![100, 104, 96, 101]
+        .into_iter()
+        .map(Int::from_i64)
+        .collect();
 
     println!("TCP cluster demo: {n} parties over 127.0.0.1, Δ = 500 ms");
     println!("inputs: {inputs:?}");

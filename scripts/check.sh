@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Workspace quality gate, in escalating strictness:
+#
+#   1. rustfmt       — formatting drift
+#   2. clippy        — generic Rust lints, warnings denied
+#   3. ca-analyzer   — protocol-soundness rules (panic-path, unbounded-alloc,
+#                      nondeterminism, wire-cast, unsafe-audit), --deny mode
+#   4. cargo test    — unit + property + integration tests, whole workspace
+#
+# Everything runs offline: external crates are vendored under shims/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/4] cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> [2/4] cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> [3/4] ca-analyzer --deny"
+cargo run --offline -q -p ca-analyzer -- --deny
+
+echo "==> [4/4] cargo test (workspace)"
+cargo test --workspace --offline -q
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,199 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! Provides wall-clock micro-benchmarks with the API surface this
+//! workspace uses: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Reports mean
+//! nanoseconds per iteration (plus throughput when declared) to stdout —
+//! no statistics, plotting, or comparison baselines.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing iteration count and total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and a rough per-iteration estimate to size the
+        // measured batch to ~100 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iters < 1_000_000 {
+            hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let target = Duration::from_millis(100).as_nanos();
+        let iters = u64::try_from((target / per_iter.max(1)).clamp(10, 10_000_000)).unwrap_or(10);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs `routine` under the timing loop and reports one line.
+    pub fn bench_function<R>(&mut self, id: impl Display, mut routine: R)
+    where
+        R: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut routine);
+    }
+
+    /// Like [`Self::bench_function`], threading `input` through.
+    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R)
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, &mut |b: &mut Bencher| routine(b, input));
+    }
+
+    /// Ends the group (output is already flushed per-bench).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let iters = bencher.iters.max(1);
+        let ns_per_iter = bencher.elapsed.as_nanos() / u128::from(iters);
+        let mut line = format!(
+            "{}/{label}: {ns_per_iter} ns/iter ({iters} iters)",
+            self.name
+        );
+        let secs = bencher.elapsed.as_secs_f64() / iters as f64;
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if secs > 0.0 => {
+                let mibps = bytes as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!(", {mibps:.1} MiB/s"));
+            }
+            Some(Throughput::Elements(elems)) if secs > 0.0 => {
+                let eps = elems as f64 / secs;
+                line.push_str(&format!(", {eps:.0} elem/s"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("add", 8), &21u64, |b, &x| {
+            b.iter(|| black_box(x) + black_box(x));
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

@@ -1,0 +1,406 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` attribute, `prop_assert!` /
+//! `prop_assert_eq!`, [`arbitrary::any`], integer range strategies,
+//! [`collection::vec`], and [`test_runner::Config`] (re-exported from the
+//! prelude as `ProptestConfig`).
+//!
+//! Unlike real proptest there is no shrinking: a failing case prints its
+//! inputs (which are reproducible — seeds derive from the test name) and
+//! re-raises the panic.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeFrom};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Integers drawable uniformly from a half-open range.
+    pub trait UniformInt: Copy {
+        /// Draws uniformly from `[start, end)`.
+        fn draw(rng: &mut TestRng, start: Self, end: Self) -> Self;
+        /// Largest representable value (used for `start..`).
+        const MAX_VALUE: Self;
+    }
+
+    macro_rules! impl_uniform_unsigned {
+        ($($ty:ty),*) => {$(
+            impl UniformInt for $ty {
+                fn draw(rng: &mut TestRng, start: Self, end: Self) -> Self {
+                    assert!(start < end, "empty range strategy");
+                    let span = (end - start) as u128;
+                    let word = rng.next_u128();
+                    start + (word % span) as $ty
+                }
+                const MAX_VALUE: Self = <$ty>::MAX;
+            }
+        )*};
+    }
+
+    impl_uniform_unsigned!(u8, u16, u32, u64, usize, u128);
+
+    macro_rules! impl_uniform_signed {
+        ($($ty:ty => $uty:ty),*) => {$(
+            impl UniformInt for $ty {
+                fn draw(rng: &mut TestRng, start: Self, end: Self) -> Self {
+                    assert!(start < end, "empty range strategy");
+                    let span = (end as $uty).wrapping_sub(start as $uty) as u128;
+                    let word = rng.next_u128();
+                    start.wrapping_add((word % span) as $ty)
+                }
+                const MAX_VALUE: Self = <$ty>::MAX;
+            }
+        )*};
+    }
+
+    impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128);
+
+    /// Floats draw uniformly by scaling a 53-bit mantissa into `[0, 1)`.
+    impl UniformInt for f64 {
+        fn draw(rng: &mut TestRng, start: Self, end: Self) -> Self {
+            assert!(start < end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            start + unit * (end - start)
+        }
+        const MAX_VALUE: Self = f64::MAX;
+    }
+
+    impl UniformInt for f32 {
+        fn draw(rng: &mut TestRng, start: Self, end: Self) -> Self {
+            f64::draw(rng, f64::from(start), f64::from(end)) as f32
+        }
+        const MAX_VALUE: Self = f32::MAX;
+    }
+
+    impl<T: UniformInt> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, self.end)
+        }
+    }
+
+    /// `start..` draws from `[start, MAX]`.
+    impl<T: UniformInt> Strategy for RangeFrom<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, T::MAX_VALUE)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: full-domain strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u128() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u128() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.size.lo < self.size.hi, "empty size range");
+            let span = (self.size.hi - self.size.lo) as u128;
+            let len = self.size.lo + (rng.next_u128() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG.
+
+    /// Mirror of `proptest::test_runner::Config` (prelude name:
+    /// `ProptestConfig`). Only `cases` is honored; `max_shrink_iters`
+    /// exists so `..Config::default()` updates stay meaningful.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Deterministic xoshiro256++ RNG, seeded from the test's name so
+    /// every run of a test sees the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// RNG for the named test (FNV-1a of the name, SplitMix64-expanded).
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut x = h;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        /// Next 128-bit word.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!` for the syntax
+/// used in this workspace: an optional `#![proptest_config(expr)]` header
+/// followed by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __desc = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}; "),*),
+                    $(&$arg),*
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let ::std::result::Result::Err(panic) = __outcome {
+                    ::std::eprintln!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __desc
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!`: asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(a in 5usize..9, b in -3i64..3, c in 1u16..) {
+            prop_assert!((5..9).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!(c >= 1);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(
+            fixed in crate::collection::vec(any::<u8>(), 4),
+            ranged in crate::collection::vec(any::<bool>(), 0..7),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!(ranged.len() < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let s = 0u64..1000;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    fn with_cases_sets_cases() {
+        assert_eq!(crate::test_runner::Config::with_cases(7).cases, 7);
+    }
+}

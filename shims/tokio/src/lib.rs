@@ -1,0 +1,396 @@
+//! Hermetic stand-in for the `tokio` crate.
+//!
+//! Executes each spawned task on its own OS thread and completes I/O
+//! futures by performing the blocking operation eagerly, so `.await`
+//! always resolves immediately. For this workspace's usage — one socket
+//! pump task per peer connection — that is semantically equivalent to a
+//! real reactor, at the cost of `O(peers)` threads per party.
+
+/// Task executors, mirroring `tokio::runtime`.
+pub mod runtime {
+    use std::future::Future;
+    use std::io;
+    use std::marker::PhantomData;
+    use std::task::{Context, Poll, Waker};
+
+    /// Polls `fut` to completion on the current thread.
+    ///
+    /// Leaf futures in this shim block inside `poll`, so the loop almost
+    /// always finishes on the first iteration.
+    fn block_on_current<F: Future>(fut: F) -> F::Output {
+        let mut fut = std::pin::pin!(fut);
+        let mut cx = Context::from_waker(Waker::noop());
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Handle to a spawned task. The workspace never joins tasks, so this
+    /// carries no result channel.
+    #[derive(Debug)]
+    pub struct JoinHandle<T>(PhantomData<fn() -> T>);
+
+    /// Builder mirroring `tokio::runtime::Builder`.
+    #[derive(Debug, Default)]
+    pub struct Builder {}
+
+    impl Builder {
+        /// Multi-thread flavor (the shim is thread-per-task regardless).
+        #[must_use]
+        pub fn new_multi_thread() -> Self {
+            Self::default()
+        }
+
+        /// Accepted for compatibility; the shim sizes itself per task.
+        pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
+            self
+        }
+
+        /// Accepted for compatibility; all drivers are always "enabled".
+        pub fn enable_all(&mut self) -> &mut Self {
+            self
+        }
+
+        /// Builds the runtime.
+        ///
+        /// # Errors
+        ///
+        /// Never fails in the shim; the signature matches real tokio.
+        pub fn build(&mut self) -> io::Result<Runtime> {
+            Ok(Runtime {})
+        }
+    }
+
+    /// Runtime mirroring `tokio::runtime::Runtime`. Tasks are detached OS
+    /// threads; they exit when their sockets or channels close, so there
+    /// is no shutdown protocol on drop.
+    #[derive(Debug)]
+    pub struct Runtime {}
+
+    impl Runtime {
+        /// Runs `fut` to completion on the calling thread.
+        pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+            block_on_current(fut)
+        }
+
+        /// Runs `fut` on a fresh OS thread.
+        pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+        where
+            F: Future + Send + 'static,
+            F::Output: Send + 'static,
+        {
+            std::thread::Builder::new()
+                .name("tokio-shim-task".into())
+                .spawn(move || {
+                    let _ = block_on_current(fut);
+                })
+                .expect("spawn shim task thread");
+            JoinHandle(PhantomData)
+        }
+    }
+}
+
+/// TCP primitives, mirroring `tokio::net`.
+pub mod net {
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, SocketAddr};
+
+    /// Connected TCP stream (blocking under the hood).
+    #[derive(Debug)]
+    pub struct TcpStream {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    /// Read half from [`TcpStream::into_split`].
+    #[derive(Debug)]
+    pub struct OwnedReadHalf {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    /// Write half from [`TcpStream::into_split`].
+    #[derive(Debug)]
+    pub struct OwnedWriteHalf {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub async fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+            std::net::TcpStream::connect(addr).map(|inner| Self { inner })
+        }
+
+        /// Sets `TCP_NODELAY`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn set_nodelay(&self, nodelay: bool) -> std::io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        /// Splits into independently owned read/write halves.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the OS refuses to duplicate the socket handle.
+        #[must_use]
+        pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+            let read = self.inner.try_clone().expect("duplicate socket handle");
+            (
+                OwnedReadHalf { inner: read },
+                OwnedWriteHalf { inner: self.inner },
+            )
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl Read for OwnedReadHalf {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for OwnedWriteHalf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl OwnedWriteHalf {
+        pub(crate) fn shutdown_write(&mut self) -> std::io::Result<()> {
+            self.inner.shutdown(Shutdown::Write)
+        }
+    }
+
+    impl TcpStream {
+        pub(crate) fn shutdown_write(&mut self) -> std::io::Result<()> {
+            self.inner.shutdown(Shutdown::Write)
+        }
+    }
+
+    /// Listening TCP socket.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds to `addr`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub async fn bind(addr: SocketAddr) -> std::io::Result<Self> {
+            std::net::TcpListener::bind(addr).map(|inner| Self { inner })
+        }
+
+        /// Local address the listener is bound to.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Accepts one inbound connection (blocking).
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub async fn accept(&self) -> std::io::Result<(TcpStream, SocketAddr)> {
+            self.inner
+                .accept()
+                .map(|(stream, addr)| (TcpStream { inner: stream }, addr))
+        }
+    }
+}
+
+/// Async read/write extension traits, mirroring `tokio::io`.
+///
+/// The methods perform the blocking operation eagerly and return an
+/// already-completed future, which is equivalent under the shim's
+/// thread-per-task execution model.
+pub mod io {
+    use std::future::{ready, Ready};
+    use std::io::{Read, Write};
+
+    /// Mirror of `tokio::io::AsyncReadExt` for the shim's socket types.
+    pub trait AsyncReadExt {
+        /// Reads exactly `buf.len()` bytes.
+        fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>>;
+    }
+
+    /// Mirror of `tokio::io::AsyncWriteExt` for the shim's socket types.
+    pub trait AsyncWriteExt {
+        /// Writes the entire buffer.
+        fn write_all(&mut self, buf: &[u8]) -> Ready<std::io::Result<()>>;
+        /// Shuts down the write side of the socket.
+        fn shutdown(&mut self) -> Ready<std::io::Result<()>>;
+    }
+
+    impl AsyncReadExt for crate::net::TcpStream {
+        fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>> {
+            ready(Read::read_exact(self, buf).map(|()| buf.len()))
+        }
+    }
+
+    impl AsyncReadExt for crate::net::OwnedReadHalf {
+        fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>> {
+            ready(Read::read_exact(self, buf).map(|()| buf.len()))
+        }
+    }
+
+    impl AsyncWriteExt for crate::net::TcpStream {
+        fn write_all(&mut self, buf: &[u8]) -> Ready<std::io::Result<()>> {
+            ready(Write::write_all(self, buf))
+        }
+        fn shutdown(&mut self) -> Ready<std::io::Result<()>> {
+            ready(self.shutdown_write())
+        }
+    }
+
+    impl AsyncWriteExt for crate::net::OwnedWriteHalf {
+        fn write_all(&mut self, buf: &[u8]) -> Ready<std::io::Result<()>> {
+            ready(Write::write_all(self, buf))
+        }
+        fn shutdown(&mut self) -> Ready<std::io::Result<()>> {
+            ready(self.shutdown_write())
+        }
+    }
+}
+
+/// Channel primitives, mirroring `tokio::sync`.
+pub mod sync {
+    /// Unbounded MPSC channel with an async receiver.
+    pub mod mpsc {
+        use std::sync::mpsc as std_mpsc;
+
+        /// Error types, mirroring `tokio::sync::mpsc::error`.
+        pub mod error {
+            /// The receiving half was dropped.
+            #[derive(Debug, PartialEq, Eq)]
+            pub struct SendError<T>(pub T);
+        }
+
+        /// Sending half; cloneable, non-blocking.
+        #[derive(Debug)]
+        pub struct UnboundedSender<T>(std_mpsc::Sender<T>);
+
+        impl<T> Clone for UnboundedSender<T> {
+            fn clone(&self) -> Self {
+                UnboundedSender(self.0.clone())
+            }
+        }
+
+        impl<T> UnboundedSender<T> {
+            /// Sends `value` without blocking.
+            ///
+            /// # Errors
+            ///
+            /// Returns the value if the receiver is gone.
+            pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+                self.0
+                    .send(value)
+                    .map_err(|std_mpsc::SendError(v)| error::SendError(v))
+            }
+        }
+
+        /// Receiving half; `recv().await` blocks the task's thread.
+        #[derive(Debug)]
+        pub struct UnboundedReceiver<T>(std_mpsc::Receiver<T>);
+
+        impl<T> UnboundedReceiver<T> {
+            /// Awaits the next value; `None` once all senders are dropped.
+            pub async fn recv(&mut self) -> Option<T> {
+                self.0.recv().ok()
+            }
+        }
+
+        /// Creates an unbounded channel.
+        #[must_use]
+        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+            let (tx, rx) = std_mpsc::channel();
+            (UnboundedSender(tx), UnboundedReceiver(rx))
+        }
+    }
+}
+
+/// Timers, mirroring `tokio::time`.
+pub mod time {
+    use std::time::Duration;
+
+    /// Sleeps for `duration` (blocks the task's thread).
+    pub async fn sleep(duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
+
+    #[test]
+    fn echo_round_trip_over_shim_tcp() {
+        let rt = crate::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let out = rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+            let local = listener.local_addr().unwrap();
+            // Accept on a spawned task while we dial from this one.
+            let (tx, mut rx) = crate::sync::mpsc::unbounded_channel();
+            rt.spawn(async move {
+                let (stream, _) = listener.accept().await.unwrap();
+                let (mut read, _write) = stream.into_split();
+                let mut buf = [0u8; 4];
+                read.read_exact(&mut buf).await.unwrap();
+                tx.send(buf.to_vec()).unwrap();
+            });
+            let mut client = crate::net::TcpStream::connect(local).await.unwrap();
+            client.set_nodelay(true).unwrap();
+            client.write_all(b"ping").await.unwrap();
+            client.shutdown().await.unwrap();
+            rx.recv().await.unwrap()
+        });
+        assert_eq!(out, b"ping".to_vec());
+    }
+
+    #[test]
+    fn mpsc_close_semantics() {
+        let (tx, mut rx) = crate::sync::mpsc::unbounded_channel();
+        tx.send(5).unwrap();
+        drop(tx);
+        let rt = crate::runtime::Builder::new_multi_thread().build().unwrap();
+        assert_eq!(rt.block_on(rx.recv()), Some(5));
+        assert_eq!(rt.block_on(rx.recv()), None);
+    }
+}

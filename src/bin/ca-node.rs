@@ -53,8 +53,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--index" => index = Some(value().parse().unwrap_or_else(|_| usage("bad --index"))),
             "--peers" => {
-                let list: Result<Vec<SocketAddr>, _> =
-                    value().split(',').map(str::parse).collect();
+                let list: Result<Vec<SocketAddr>, _> = value().split(',').map(str::parse).collect();
                 peers = Some(list.unwrap_or_else(|_| usage("bad --peers")));
             }
             "--input" => input = Some(value()),

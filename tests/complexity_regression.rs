@@ -32,8 +32,7 @@ fn clustered(seed: u64, n: usize, ell: usize) -> Vec<Nat> {
 
 fn measure_pi_n(n: usize, ell: usize) -> (u64, u64) {
     let inputs = clustered(ell as u64, n, ell);
-    let report =
-        Sim::new(n).run(move |ctx, id| pi_n(ctx, &inputs[id.index()], BaKind::TurpinCoan));
+    let report = Sim::new(n).run(move |ctx, id| pi_n(ctx, &inputs[id.index()], BaKind::TurpinCoan));
     (report.metrics.honest_bits, report.metrics.rounds)
 }
 
@@ -117,7 +116,10 @@ fn ordering_at_large_ell() {
             .metrics
             .honest_bits
     };
-    assert!(ours < bc, "pi_n ({ours}) must beat broadcast_ca ({bc}) at ℓ = 2^14");
+    assert!(
+        ours < bc,
+        "pi_n ({ours}) must beat broadcast_ca ({bc}) at ℓ = 2^14"
+    );
     assert!(bc < hc, "broadcast_ca ({bc}) must beat high_cost_ca ({hc})");
     let _ = Attack::none();
 }

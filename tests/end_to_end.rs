@@ -45,15 +45,21 @@ fn minimal_sizes() {
         Int::from_i64(-3)
     );
     assert_ca_int(2, vec![Int::from_i64(5), Int::from_i64(9)], Attack::none());
-    assert_ca_int(3, vec![Int::from_i64(-5), Int::from_i64(0), Int::from_i64(5)], Attack::none());
+    assert_ca_int(
+        3,
+        vec![Int::from_i64(-5), Int::from_i64(0), Int::from_i64(5)],
+        Attack::none(),
+    );
 }
 
 #[test]
 fn first_nontrivial_resilience() {
     // n = 4, t = 1: the smallest setting with an actual corruption.
     for attack in Attack::standard_suite(7) {
-        let mut inputs: Vec<Int> =
-            vec![-10, -12, -11, -10].into_iter().map(Int::from_i64).collect();
+        let mut inputs: Vec<Int> = vec![-10, -12, -11, -10]
+            .into_iter()
+            .map(Int::from_i64)
+            .collect();
         if attack.is_lying() {
             inputs[3] = Int::from_i64(1 << 40);
         }
@@ -64,7 +70,10 @@ fn first_nontrivial_resilience() {
 #[test]
 fn zero_crossing_inputs() {
     // Sign disagreement among honest parties exercises the Π_ℤ sign logic.
-    let inputs: Vec<Int> = vec![-2, -1, 0, 1, 2, 1, -1].into_iter().map(Int::from_i64).collect();
+    let inputs: Vec<Int> = vec![-2, -1, 0, 1, 2, 1, -1]
+        .into_iter()
+        .map(Int::from_i64)
+        .collect();
     let out = assert_ca_int(7, inputs, Attack::none());
     assert!(out >= Int::from_i64(-2) && out <= Int::from_i64(2));
 }
@@ -139,7 +148,10 @@ fn determinism_of_full_stack() {
 
 #[test]
 fn both_ba_instantiations_full_stack() {
-    let inputs: Vec<Int> = vec![-3, 1, 4, -1, 5, 9, -2].into_iter().map(Int::from_i64).collect();
+    let inputs: Vec<Int> = vec![-3, 1, 4, -1, 5, 9, -2]
+        .into_iter()
+        .map(Int::from_i64)
+        .collect();
     for ba in [BaKind::TurpinCoan, BaKind::PhaseKing] {
         let inputs = inputs.clone();
         let report = Sim::new(7).run(move |ctx, id| pi_z(ctx, &inputs[id.index()], ba));

@@ -50,12 +50,9 @@ fn lemma1_full_contract() {
         for next in [false, true] {
             let mut ext = prefix.clone();
             ext.push(next);
-            let dissenters = outs
-                .iter()
-                .filter(|o| !ext.is_prefix_of(&o.v_bot))
-                .count();
+            let dissenters = outs.iter().filter(|o| !ext.is_prefix_of(&o.v_bot)).count();
             assert!(
-                dissenters >= t + 1,
+                dissenters > t,
                 "extension {ext}: only {dissenters} dissenting v⊥ (need {})",
                 t + 1
             );
@@ -103,14 +100,23 @@ fn theorem6_properties_sweep() {
         // `split` parties share value A, the rest hold distinct values.
         let a = sha256(b"A");
         let inputs: Vec<_> = (0..n)
-            .map(|i| if i < split { a } else { sha256(&[i as u8, 0xEE]) })
+            .map(|i| {
+                if i < split {
+                    a
+                } else {
+                    sha256(&[i as u8, 0xEE])
+                }
+            })
             .collect();
         let report = Sim::new(n).run({
             let inputs = inputs.clone();
             move |ctx, id| ba_plus(ctx, inputs[id.index()], BaKind::TurpinCoan)
         });
         let outs = report.honest_outputs();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "agreement (split {split})");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "agreement (split {split})"
+        );
         match outs[0] {
             Some(v) => assert!(inputs.contains(v), "intrusion tolerance (split {split})"),
             None => {
@@ -128,11 +134,17 @@ fn theorem1_properties_sweep() {
     let n = 4;
     let t = max_faults(n);
     let long = |tag: u8| {
-        BitString::from_bits((0..3000).map(move |i| (i as u8).wrapping_add(tag) % 5 == 0))
+        BitString::from_bits((0..3000).map(move |i| (i as u8).wrapping_add(tag).is_multiple_of(5)))
     };
     for split in 0..=n {
         let inputs: Vec<_> = (0..n)
-            .map(|i| if i < split { long(0) } else { long(i as u8 + 1) })
+            .map(|i| {
+                if i < split {
+                    long(0)
+                } else {
+                    long(i as u8 + 1)
+                }
+            })
             .collect();
         let report = Sim::new(n).run({
             let inputs = inputs.clone();
