@@ -11,6 +11,7 @@
 //! | `nondeterminism` | runs are not reproducible under the simulator        |
 //! | `wire-cast`      | silent truncation of decoded values                  |
 //! | `unsafe-audit`   | memory-safety escape hatch in consensus code         |
+//! | `trace-discipline` | ad-hoc stdout/stderr output instead of `ca-trace`  |
 
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::lexer::{Token, TokenKind};
@@ -71,6 +72,22 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 /// Crates whose allocations may be driven by decoded wire lengths.
 const WIRE_ALLOC_CRATES: &[&str] = &["ca-codec", "ca-runtime"];
 
+/// Crates where all observability goes through `ca-trace`: protocol and
+/// substrate code must never write to stdout/stderr directly (the bench
+/// harness, the analyzer, and the trace CLI itself are the reporting
+/// surfaces and stay out of scope).
+const TRACED_CRATES: &[&str] = &[
+    "ca-bits",
+    "ca-codec",
+    "ca-crypto",
+    "ca-erasure",
+    "ca-net",
+    "ca-adversary",
+    "ca-ba",
+    "ca-core",
+    "ca-runtime",
+];
+
 /// The full rule registry, in reporting order.
 #[must_use]
 pub fn all_rules() -> &'static [Rule] {
@@ -111,6 +128,15 @@ pub fn all_rules() -> &'static [Rule] {
             scope: &["ca-codec"],
             check_test_code: false,
             check: check_wire_cast,
+        },
+        Rule {
+            name: "trace-discipline",
+            severity: Severity::Error,
+            description: "no println!/eprintln!/print!/eprint! in protocol or substrate crates: \
+                          runs must stay quiet and observable only through ca-trace sinks",
+            scope: TRACED_CRATES,
+            check_test_code: false,
+            check: check_trace_discipline,
         },
         Rule {
             name: "unsafe-audit",
@@ -403,6 +429,40 @@ fn check_wire_cast(
                     "bare `as {}` silently truncates; use try_from (decoded values) or mask \
                      explicitly and justify with a ca-lint pragma",
                     target.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Macros that write to stdout/stderr.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+fn check_trace_discipline(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    masked: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if masked[i] || tok.kind != TokenKind::Ident || !PRINT_MACROS.contains(&tok.text) {
+            continue;
+        }
+        // Macro invocation only: `println!(..)` — a local named `print`
+        // or a path segment is not an output statement.
+        let is_macro = next_code(tokens, i).is_some_and(|n| n.text == "!")
+            && prev_code(tokens, i).is_none_or(|p| p.text != ".");
+        if is_macro {
+            diag(
+                "trace-discipline",
+                Severity::Error,
+                ctx,
+                tok.line,
+                format!(
+                    "{}! writes to the process streams from protocol code; emit a ca-trace \
+                     event (Note/Input/Decide) through the Comm trace hooks instead",
+                    tok.text
                 ),
                 out,
             );

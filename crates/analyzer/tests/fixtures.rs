@@ -199,6 +199,55 @@ fn wire_cast_only_applies_to_codec() {
     assert!(run(&runtime_ctx(), "fn f(v: u64) -> u8 { v as u8 }\n").is_empty());
 }
 
+// --------------------------------------------------------- trace-discipline
+
+#[test]
+fn trace_discipline_fires_on_println_in_protocol_code() {
+    let diags = run(
+        &runtime_ctx(),
+        "fn f(round: u64) { println!(\"round {round}\"); }\n",
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "trace-discipline");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].message.contains("ca-trace"));
+}
+
+#[test]
+fn trace_discipline_fires_on_eprintln_and_print() {
+    let fired = rules_fired(
+        &codec_ctx(),
+        "fn f() {\n    eprint!(\"a\");\n    eprintln!(\"b\");\n    print!(\"c\");\n}\n",
+    );
+    assert_eq!(
+        fired,
+        vec!["trace-discipline", "trace-discipline", "trace-discipline"]
+    );
+}
+
+#[test]
+fn trace_discipline_allows_trace_events_and_writeln() {
+    // The sanctioned paths: Comm trace hooks, and `writeln!` into an
+    // explicit formatter/writer (report rendering, Display impls).
+    let src = "fn f(ctx: &mut dyn Comm, out: &mut String) {\n    ctx.trace_note(\"k\", || \"v\".to_owned());\n    let _ = writeln!(out, \"table row\");\n}\n";
+    assert!(run(&runtime_ctx(), src).is_empty());
+}
+
+#[test]
+fn trace_discipline_skips_tests_and_reporting_crates() {
+    let src = "fn f() { println!(\"dbg\"); }\n";
+    for crate_name in ["ca-bench", "ca-trace", "ca-analyzer"] {
+        let ctx = FileContext {
+            crate_name,
+            path: "crates/x/src/lib.rs",
+            is_test_code: false,
+        };
+        assert!(run(&ctx, src).is_empty(), "false positive in {crate_name}");
+    }
+    let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"debugging a failure\"); }\n}\n";
+    assert!(run(&runtime_ctx(), test_src).is_empty());
+}
+
 // -------------------------------------------------------------- unsafe-audit
 
 #[test]

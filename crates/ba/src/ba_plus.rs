@@ -113,16 +113,19 @@ pub fn ba_plus<V: Value>(ctx: &mut dyn Comm, input: V, ba: BaKind) -> Option<V> 
         };
 
         // Lines 4–5: try to agree on a, then on b.
+        let mut out = None;
         for candidate in [a, b] {
             let agreed: Option<V> = ba.run(ctx, candidate.clone());
             let happy = agreed.is_some() && agreed == candidate;
             if ba.run_bit(ctx, happy) {
                 // Some honest party voted 1, so `agreed` is its non-⊥
                 // candidate; by Agreement everyone holds the same `agreed`.
-                return agreed;
+                out = agreed;
+                break;
             }
         }
-        None
+        ctx.trace_decide(|| ca_net::compact_debug(&out));
+        out
     })
 }
 

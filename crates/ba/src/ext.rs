@@ -47,67 +47,73 @@ type ShareMsg = (u32, Share, Witness);
 /// Validity, Intrusion Tolerance, Bounded Pre-Agreement.
 pub fn lba_plus<V: Value>(ctx: &mut dyn Comm, input: &V, ba: BaKind) -> Option<V> {
     ctx.scoped("lba+", |ctx| {
-        let n = ctx.n();
-        let me = ctx.me();
-        // ca-lint: allow(panic-path) — (n, n−t) are local config, not wire input
-        let rs = ReedSolomon::new(n, ctx.quorum()).expect("valid (n, n−t) parameters");
-
-        // Step 1: erasure-code and accumulate.
-        let payload = input.encode_to_vec();
-        let shares = rs.encode(&payload);
-        let leaves: Vec<Vec<u8>> = shares.iter().map(Encode::encode_to_vec).collect();
-        let tree = MerkleTree::build(&leaves);
-        let z = tree.root();
-
-        // Step 2: agree on an accumulator value.
-        let z_star = ba_plus(ctx, z, ba)?;
-
-        // Step 3a: holders of the agreed value disperse codewords.
-        if z == z_star {
-            for (j, (share, witness)) in shares.iter().zip(tree.witnesses()).enumerate() {
-                ctx.send(PartyId(j), &(j as u32, share.clone(), witness));
-            }
-        }
-        let inbox = ctx.next_round();
-        let mine: Option<ShareMsg> = inbox
-            .decode_all::<ShareMsg>()
-            .into_iter()
-            .find(|(_, (idx, share, witness))| {
-                *idx as usize == me.index()
-                    && MerkleTree::verify(z_star, *idx as usize, share.encode_to_vec(), witness)
-            })
-            .map(|(_, msg)| msg);
-
-        // Step 3b: echo the verified codeword to everyone.
-        if let Some(msg) = &mine {
-            ctx.send_all(msg);
-        }
-        let inbox = ctx.next_round();
-        let mut collected: Vec<(usize, Share)> = Vec::new();
-        let mut have = vec![false; n];
-        for (_, (idx, share, witness)) in inbox.decode_all::<ShareMsg>() {
-            let idx = idx as usize;
-            if idx < n
-                && !have[idx]
-                && MerkleTree::verify(z_star, idx, share.encode_to_vec(), &witness)
-            {
-                have[idx] = true;
-                collected.push((idx, share));
-            }
-        }
-
-        // Reconstruct; any (n−t)-subset of verified codewords yields the
-        // same value because the accumulator binds index → codeword.
-        let payload = rs.decode(&collected).ok()?;
-        let value = V::decode_from_slice(&payload).ok()?;
-        // Defense in depth: the reconstruction must re-accumulate to z*.
-        let reencoded = rs.encode(&payload);
-        let releaves: Vec<Vec<u8>> = reencoded.iter().map(Encode::encode_to_vec).collect();
-        if MerkleTree::build(&releaves).root() != z_star {
-            return None;
-        }
-        Some(value)
+        let out = lba_plus_body(ctx, input, ba);
+        ctx.trace_decide(|| ca_net::compact_debug(&out));
+        out
     })
+}
+
+/// `Π_ℓBA+` proper, inside the `lba+` scope (split out so the decide
+/// trace event covers the `⊥` early returns too).
+fn lba_plus_body<V: Value>(ctx: &mut dyn Comm, input: &V, ba: BaKind) -> Option<V> {
+    let n = ctx.n();
+    let me = ctx.me();
+    // ca-lint: allow(panic-path) — (n, n−t) are local config, not wire input
+    let rs = ReedSolomon::new(n, ctx.quorum()).expect("valid (n, n−t) parameters");
+
+    // Step 1: erasure-code and accumulate.
+    let payload = input.encode_to_vec();
+    let shares = rs.encode(&payload);
+    let leaves: Vec<Vec<u8>> = shares.iter().map(Encode::encode_to_vec).collect();
+    let tree = MerkleTree::build(&leaves);
+    let z = tree.root();
+
+    // Step 2: agree on an accumulator value.
+    let z_star = ba_plus(ctx, z, ba)?;
+
+    // Step 3a: holders of the agreed value disperse codewords.
+    if z == z_star {
+        for (j, (share, witness)) in shares.iter().zip(tree.witnesses()).enumerate() {
+            ctx.send(PartyId(j), &(j as u32, share.clone(), witness));
+        }
+    }
+    let inbox = ctx.next_round();
+    let mine: Option<ShareMsg> = inbox
+        .decode_all::<ShareMsg>()
+        .into_iter()
+        .find(|(_, (idx, share, witness))| {
+            *idx as usize == me.index()
+                && MerkleTree::verify(z_star, *idx as usize, share.encode_to_vec(), witness)
+        })
+        .map(|(_, msg)| msg);
+
+    // Step 3b: echo the verified codeword to everyone.
+    if let Some(msg) = &mine {
+        ctx.send_all(msg);
+    }
+    let inbox = ctx.next_round();
+    let mut collected: Vec<(usize, Share)> = Vec::new();
+    let mut have = vec![false; n];
+    for (_, (idx, share, witness)) in inbox.decode_all::<ShareMsg>() {
+        let idx = idx as usize;
+        if idx < n && !have[idx] && MerkleTree::verify(z_star, idx, share.encode_to_vec(), &witness)
+        {
+            have[idx] = true;
+            collected.push((idx, share));
+        }
+    }
+
+    // Reconstruct; any (n−t)-subset of verified codewords yields the
+    // same value because the accumulator binds index → codeword.
+    let payload = rs.decode(&collected).ok()?;
+    let value = V::decode_from_slice(&payload).ok()?;
+    // Defense in depth: the reconstruction must re-accumulate to z*.
+    let reencoded = rs.encode(&payload);
+    let releaves: Vec<Vec<u8>> = reencoded.iter().map(Encode::encode_to_vec).collect();
+    if MerkleTree::build(&releaves).root() != z_star {
+        return None;
+    }
+    Some(value)
 }
 
 #[cfg(test)]

@@ -92,6 +92,9 @@ pub fn phase_king<V: Value>(ctx: &mut dyn Comm, input: V) -> V {
                 // harmless: only phases with an honest king must converge.
             }
         }
+        // Decide only (no Input event): BA validity is vacuous on mixed
+        // inputs, so a hull check over BA scopes would be wrong.
+        ctx.trace_decide(|| ca_net::compact_debug(&current));
         current
     })
 }

@@ -83,26 +83,28 @@ pub fn turpin_coan<V: Value>(ctx: &mut dyn Comm, input: V) -> V {
 
         // Binary agreement on whether a confirmed candidate exists.
         let bit = phase_king(ctx, confirmed);
-        if !bit {
-            return V::default();
-        }
-
-        // Round 3: redistribute the (unique) candidate.
-        if let Some(v) = &cand {
-            ctx.send_all(v);
-        }
-        let finals = ctx.next_round();
-        let mut final_counts: BTreeMap<V, usize> = BTreeMap::new();
-        for (_, v) in finals.decode_each::<V>() {
-            *final_counts.entry(v).or_insert(0) += 1;
-        }
-        final_counts
-            .into_iter()
-            .find(|(_, c)| *c > t)
-            .map(|(v, _)| v)
-            // Unreachable when t < n/3 (see module docs); a deterministic
-            // fallback keeps even an impossible state agreed-upon.
-            .unwrap_or_default()
+        let out = if !bit {
+            V::default()
+        } else {
+            // Round 3: redistribute the (unique) candidate.
+            if let Some(v) = &cand {
+                ctx.send_all(v);
+            }
+            let finals = ctx.next_round();
+            let mut final_counts: BTreeMap<V, usize> = BTreeMap::new();
+            for (_, v) in finals.decode_each::<V>() {
+                *final_counts.entry(v).or_insert(0) += 1;
+            }
+            final_counts
+                .into_iter()
+                .find(|(_, c)| *c > t)
+                .map(|(v, _)| v)
+                // Unreachable when t < n/3 (see module docs); a deterministic
+                // fallback keeps even an impossible state agreed-upon.
+                .unwrap_or_default()
+        };
+        ctx.trace_decide(|| ca_net::compact_debug(&out));
+        out
     })
 }
 

@@ -10,29 +10,40 @@ use ca_core::find_prefix;
 use ca_crypto::sha256;
 use ca_net::Sim;
 
+use std::path::Path;
+
+use crate::summary::BenchSummary;
 use crate::table::{fmt_bits, Table};
 use crate::workload::{apply_lies, clustered_nats};
-use crate::{run_nat_protocol, Protocol};
+use crate::{run_nat_protocol, runner::run_nat_protocol_traced, Protocol};
 
 /// Runs one experiment by id (`"t1"`, `"f1"`, …, or `"all"`).
 ///
 /// Returns `false` if the id is unknown.
 pub fn run_by_name(name: &str, quick: bool) -> bool {
+    run_by_name_opts(name, quick, None)
+}
+
+/// [`run_by_name`] with an optional artifact directory: experiments that
+/// support machine-readable output (currently F3) additionally write a
+/// `run.jsonl` event timeline and a `BENCH_<exp>.json` claim-vs-measured
+/// summary into `artifacts`.
+pub fn run_by_name_opts(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
     let started = std::time::Instant::now();
-    let ok = run_inner(name, quick);
+    let ok = run_inner(name, quick, artifacts);
     if ok && name != "all" {
         eprintln!("[{name} finished in {:.1?}]", started.elapsed());
     }
     ok
 }
 
-fn run_inner(name: &str, quick: bool) -> bool {
+fn run_inner(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
     match name {
         "t1" => t1_protocol_comparison(quick),
         "f1" => f1_scaling_ell(quick),
         "f2" => f2_scaling_n(quick),
         "t2" => t2_rounds(quick),
-        "f3" => f3_breakdown(quick),
+        "f3" => f3_breakdown(quick, artifacts),
         "t3" => t3_extension(quick),
         "t4" => t4_adversarial(quick),
         "f4" => f4_ba_ablation(quick),
@@ -40,7 +51,7 @@ fn run_inner(name: &str, quick: bool) -> bool {
         "e1" => e1_approx_vs_exact(quick),
         "all" => {
             for id in ["t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1"] {
-                run_by_name(id, quick);
+                run_by_name_opts(id, quick, artifacts);
             }
         }
         _ => return false,
@@ -215,16 +226,48 @@ pub fn t2_rounds(quick: bool) {
 }
 
 /// **F3** — Theorem 5's cost decomposition: which subprotocol pays what.
-pub fn f3_breakdown(quick: bool) {
+///
+/// With `artifacts` set, the short-path run is re-emitted as a structured
+/// trace (`<dir>/run.jsonl`, one event per line — `ca-trace report/check`
+/// consume it) and both runs land in `<dir>/BENCH_f3.json`.
+pub fn f3_breakdown(quick: bool, artifacts: Option<&Path>) {
     let n: usize = if quick { 7 } else { 10 };
     // The short path requires ℓ ≤ n²; pick the largest power of two below.
     let short_ell = 1usize << ((n * n).ilog2() - 1);
-    for (label, ell) in [
+    let mut summary = BenchSummary::new("f3");
+    for (idx, (label, ell)) in [
         (format!("short path, ℓ = {short_ell}"), short_ell),
         ("long path, ℓ = 2^16".to_owned(), 1 << 16),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let inputs = clustered_nats(0xF3, n, ell, ell / 2);
-        let stats = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &inputs, Attack::none());
+        let proto = Protocol::PiN(BaKind::TurpinCoan);
+        // Trace the (small) short-path run; the long-path timeline would be
+        // tens of MB for no extra check coverage.
+        let traced_sink = match (idx, artifacts) {
+            (0, Some(dir)) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("warning: cannot create {}: {e}", dir.display());
+                    None
+                } else {
+                    match ca_trace::JsonlSink::create(&dir.join("run.jsonl")) {
+                        Ok(sink) => Some(std::sync::Arc::new(sink)),
+                        Err(e) => {
+                            eprintln!("warning: cannot create run.jsonl: {e}");
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        };
+        let stats = match traced_sink {
+            Some(sink) => run_nat_protocol_traced(proto, &inputs, Attack::none(), sink),
+            None => run_nat_protocol(proto, &inputs, Attack::none()),
+        };
+        summary.push_run(&label, &stats);
         let mut table = Table::new(
             &format!("F3: per-subprotocol breakdown, n = {n}, {label}"),
             &["scope", "bits", "share", "rounds"],
@@ -259,6 +302,12 @@ pub fn f3_breakdown(quick: bool) {
             stats.rounds.to_string(),
         ]);
         table.print();
+    }
+    if let Some(dir) = artifacts {
+        match summary.write(dir) {
+            Ok(path) => eprintln!("[f3 artifacts: {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_f3.json: {e}"),
+        }
     }
 }
 
@@ -499,5 +548,31 @@ mod tests {
     #[test]
     fn unknown_experiment_rejected() {
         assert!(!super::run_by_name("nope", true));
+    }
+
+    #[test]
+    fn f3_artifacts_trace_checks_clean() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-f3-{}", std::process::id()));
+        assert!(super::run_by_name_opts("f3", true, Some(&dir)));
+
+        let records = ca_trace::read_jsonl(&dir.join("run.jsonl")).unwrap();
+        assert!(!records.is_empty());
+        assert_eq!(
+            ca_trace::check(&records),
+            vec![],
+            "fault-free trace must check clean"
+        );
+
+        let bench = std::fs::read_to_string(dir.join("BENCH_f3.json")).unwrap();
+        for key in [
+            "\"experiment\": \"f3\"",
+            "\"claim\"",
+            "\"measured\"",
+            "\"ratio\"",
+            "\"p99\"",
+        ] {
+            assert!(bench.contains(key), "missing {key}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -24,8 +24,10 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod summary;
 pub mod table;
 pub mod workload;
 
-pub use runner::{run_nat_protocol, Protocol, RunStats};
+pub use runner::{run_nat_protocol, run_nat_protocol_traced, Protocol, RunStats};
+pub use summary::BenchSummary;
 pub use table::Table;

@@ -1,13 +1,15 @@
 //! Protocol runners: execute one configured run and collect the
 //! quantities the paper bounds, plus property verdicts.
 
+use std::sync::Arc;
+
 use ca_adversary::Attack;
 use ca_ba::BaKind;
 use ca_bits::Nat;
 use ca_core::{
     broadcast_ca, broadcast_ca_parallel, check_agreement, check_convex_validity, high_cost_ca, pi_n,
 };
-use ca_net::{Metrics, Sim};
+use ca_net::{Metrics, Sim, TraceSink};
 
 /// Which CA protocol a run exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,10 +76,36 @@ pub struct RunStats {
 /// Runs `protocol` on `inputs` (`inputs[i]` = party `i`'s value) under
 /// `attack`, with `t = ⌊(n−1)/3⌋`, and checks Definition 1's properties.
 pub fn run_nat_protocol(protocol: Protocol, inputs: &[Nat], attack: Attack) -> RunStats {
+    run_nat_protocol_inner(protocol, inputs, attack, None)
+}
+
+/// [`run_nat_protocol`] with every trace event mirrored into `sink`
+/// (e.g. a [`ca_trace::JsonlSink`] producing a `run.jsonl` timeline).
+///
+/// The measured [`Metrics`] are identical to the untraced run's: tracing
+/// observes sends/rounds, it never adds any.
+pub fn run_nat_protocol_traced(
+    protocol: Protocol,
+    inputs: &[Nat],
+    attack: Attack,
+    sink: Arc<dyn TraceSink>,
+) -> RunStats {
+    run_nat_protocol_inner(protocol, inputs, attack, Some(sink))
+}
+
+fn run_nat_protocol_inner(
+    protocol: Protocol,
+    inputs: &[Nat],
+    attack: Attack,
+    sink: Option<Arc<dyn TraceSink>>,
+) -> RunStats {
     let n = inputs.len();
     let t = ca_net::max_faults(n);
     let ell = inputs.iter().map(Nat::bit_len).max().unwrap_or(0);
-    let sim = attack.install(Sim::new(n), n, t);
+    let mut sim = attack.install(Sim::new(n), n, t);
+    if let Some(sink) = sink {
+        sim = sim.with_trace(sink);
+    }
     let inputs_owned = inputs.to_vec();
 
     let report = sim.run(move |ctx, id| {
@@ -115,6 +143,28 @@ pub fn run_nat_protocol(protocol: Protocol, inputs: &[Nat], attack: Attack) -> R
 mod tests {
     use super::*;
     use crate::workload::clustered_nats;
+
+    #[test]
+    fn tracing_does_not_perturb_metrics() {
+        let inputs = clustered_nats(5, 4, 64, 8);
+        let proto = Protocol::PiN(BaKind::TurpinCoan);
+        let base = run_nat_protocol(proto, &inputs, Attack::none());
+        let sink = Arc::new(ca_trace::RingBufferSink::new(1 << 20));
+        let traced = run_nat_protocol_traced(
+            proto,
+            &inputs,
+            Attack::none(),
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        );
+        assert_eq!(
+            base.metrics, traced.metrics,
+            "tracing must be observation-only"
+        );
+        assert!(
+            sink.total_seen() > 0,
+            "the traced run must actually emit events"
+        );
+    }
 
     #[test]
     fn all_protocols_pass_basic_run() {

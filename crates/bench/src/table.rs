@@ -118,7 +118,7 @@ impl Table {
 }
 
 /// Escapes `s` as a JSON string literal (RFC 8259 §7).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -137,7 +137,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Renders a flat JSON array of strings (single line).
-fn json_string_array(items: &[String]) -> String {
+pub(crate) fn json_string_array(items: &[String]) -> String {
     let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
     format!("[{}]", cells.join(", "))
 }

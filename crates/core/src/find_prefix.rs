@@ -156,6 +156,9 @@ fn search(
 
         debug_assert_eq!(prefix.len(), lo * unit);
         debug_assert!(prefix.is_prefix_of(&v));
+        ctx.trace_note("prefix_search", || {
+            format!("iters={iterations} prefix_len={}", prefix.len())
+        });
         PrefixSearch {
             prefix,
             v,

@@ -58,6 +58,7 @@ where
     F: Fn(&V) -> bool,
 {
     ctx.scoped("high_cost", |ctx| {
+        ctx.trace_input(|| ca_net::compact_debug(&input));
         let n = ctx.n();
         let t = ctx.t();
         let quorum = n - t;
@@ -175,6 +176,7 @@ where
             }
         }
 
+        ctx.trace_decide(|| ca_net::compact_debug(&current));
         current
     })
 }

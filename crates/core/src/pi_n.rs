@@ -52,65 +52,74 @@ use crate::{fixed_length_ca, fixed_length_ca_blocks, high_cost_ca};
 /// ```
 pub fn pi_n(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
     ctx.scoped("pi_n", |ctx| {
-        let n = ctx.n();
-        let n2 = n * n;
-
-        // Line 1: decide the regime.
-        let long = ctx.scoped("path_ba", |ctx| ba.run_bit(ctx, v_in.bit_len() > n2));
-
-        if !long {
-            // --- Short path ---
-            // Some honest party is short, so the all-ones n²-bit value is
-            // ≥ it and ≤ any longer honest value: clamping stays valid.
-            let mut v = if v_in.bit_len() > n2 {
-                Nat::all_ones(n2)
-            } else {
-                v_in.clone()
-            };
-            // Lines 4–7: estimate ℓ by scanning powers of two.
-            let max_i = usize::max(1, n2.next_power_of_two().trailing_zeros() as usize);
-            for i in 0..=max_i {
-                let ell = 1usize << i;
-                let fits = ctx.scoped("len_est", |ctx| ba.run_bit(ctx, v.bit_len() > ell));
-                if !fits {
-                    // Agreed: some honest party fits in 2^i bits.
-                    if v.bit_len() > ell {
-                        v = Nat::all_ones(ell);
-                    }
-                    // ca-lint: allow(panic-path) — v was clamped to ℓ bits two lines up
-                    let bits = v.to_bits_len(ell).expect("clamped to ℓ bits");
-                    return fixed_length_ca(ctx, ell, &bits, ba).val();
-                }
-            }
-            // Unreachable: at i with 2^i ≥ n² every honest party fits, so
-            // Validity forces the loop to stop. Deterministic fallback:
-            let ell = 1usize << max_i;
-            if v.bit_len() > ell {
-                v = Nat::all_ones(ell);
-            }
-            // ca-lint: allow(panic-path) — v was clamped to ℓ bits two lines up
-            let bits = v.to_bits_len(ell).expect("clamped");
-            fixed_length_ca(ctx, ell, &bits, ba).val()
-        } else {
-            // --- Long path ---
-            // Lines 9–10: agree on a block size within the honest range.
-            let blocksize = v_in.bit_len().div_ceil(n2) as u64;
-            let blocksize = ctx.scoped("blocksize", |ctx| high_cost_ca(ctx, blocksize, |_| true));
-            if blocksize == 0 {
-                // ⌈ℓ_min/n²⌉ = 0 ⇒ some honest party holds 0; 0 is valid.
-                return Nat::zero();
-            }
-            let ell_est = (blocksize as usize) * n2;
-            let v = if v_in.bit_len() > ell_est {
-                Nat::all_ones(ell_est)
-            } else {
-                v_in.clone()
-            };
-            // ca-lint: allow(panic-path) — v was clamped to ℓ_EST bits two lines up
-            let bits: BitString = v.to_bits_len(ell_est).expect("clamped to ℓ_EST bits");
-            fixed_length_ca_blocks(ctx, ell_est, &bits, ba).val()
-        }
+        ctx.trace_input(|| v_in.to_string());
+        let out = pi_n_body(ctx, v_in, ba);
+        ctx.trace_decide(|| out.to_string());
+        out
     })
+}
+
+/// `Π_ℕ` proper, inside the `pi_n` scope (split out so the input/decide
+/// trace events bracket every return path).
+fn pi_n_body(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
+    let n = ctx.n();
+    let n2 = n * n;
+
+    // Line 1: decide the regime.
+    let long = ctx.scoped("path_ba", |ctx| ba.run_bit(ctx, v_in.bit_len() > n2));
+
+    if !long {
+        // --- Short path ---
+        // Some honest party is short, so the all-ones n²-bit value is
+        // ≥ it and ≤ any longer honest value: clamping stays valid.
+        let mut v = if v_in.bit_len() > n2 {
+            Nat::all_ones(n2)
+        } else {
+            v_in.clone()
+        };
+        // Lines 4–7: estimate ℓ by scanning powers of two.
+        let max_i = usize::max(1, n2.next_power_of_two().trailing_zeros() as usize);
+        for i in 0..=max_i {
+            let ell = 1usize << i;
+            let fits = ctx.scoped("len_est", |ctx| ba.run_bit(ctx, v.bit_len() > ell));
+            if !fits {
+                // Agreed: some honest party fits in 2^i bits.
+                if v.bit_len() > ell {
+                    v = Nat::all_ones(ell);
+                }
+                // ca-lint: allow(panic-path) — v was clamped to ℓ bits two lines up
+                let bits = v.to_bits_len(ell).expect("clamped to ℓ bits");
+                return fixed_length_ca(ctx, ell, &bits, ba).val();
+            }
+        }
+        // Unreachable: at i with 2^i ≥ n² every honest party fits, so
+        // Validity forces the loop to stop. Deterministic fallback:
+        let ell = 1usize << max_i;
+        if v.bit_len() > ell {
+            v = Nat::all_ones(ell);
+        }
+        // ca-lint: allow(panic-path) — v was clamped to ℓ bits two lines up
+        let bits = v.to_bits_len(ell).expect("clamped");
+        fixed_length_ca(ctx, ell, &bits, ba).val()
+    } else {
+        // --- Long path ---
+        // Lines 9–10: agree on a block size within the honest range.
+        let blocksize = v_in.bit_len().div_ceil(n2) as u64;
+        let blocksize = ctx.scoped("blocksize", |ctx| high_cost_ca(ctx, blocksize, |_| true));
+        if blocksize == 0 {
+            // ⌈ℓ_min/n²⌉ = 0 ⇒ some honest party holds 0; 0 is valid.
+            return Nat::zero();
+        }
+        let ell_est = (blocksize as usize) * n2;
+        let v = if v_in.bit_len() > ell_est {
+            Nat::all_ones(ell_est)
+        } else {
+            v_in.clone()
+        };
+        // ca-lint: allow(panic-path) — v was clamped to ℓ_EST bits two lines up
+        let bits: BitString = v.to_bits_len(ell_est).expect("clamped to ℓ_EST bits");
+        fixed_length_ca_blocks(ctx, ell_est, &bits, ba).val()
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +203,58 @@ mod tests {
         ];
         let outs = run_pi_n(n, inputs.clone(), Attack::none());
         assert_ca(&outs, &inputs);
+    }
+
+    #[test]
+    fn traced_run_checks_clean_and_brackets_io() {
+        use std::sync::Arc;
+        let inputs: Vec<Nat> = [5u64, 900, 42, 77]
+            .iter()
+            .map(|&v| Nat::from_u64(v))
+            .collect();
+        let sink = Arc::new(ca_trace::RingBufferSink::new(2_000_000));
+        let expected = inputs.clone();
+        let report = Sim::new(4)
+            .with_trace(Arc::clone(&sink) as Arc<dyn ca_trace::TraceSink>)
+            .run(move |ctx, id| pi_n(ctx, &inputs[id.index()], BaKind::TurpinCoan));
+        let outs: Vec<Nat> = report.honest_outputs().into_iter().cloned().collect();
+        assert_ca(&outs, &expected);
+
+        let records = sink.records();
+        assert_eq!(
+            sink.total_seen() as usize,
+            records.len(),
+            "ring must not have wrapped, or the checks below are partial"
+        );
+        assert_eq!(ca_trace::check(&records), vec![]);
+        for p in 0..4u64 {
+            let input = records
+                .iter()
+                .find(|r| {
+                    r.party == Some(p)
+                        && r.scope == "pi_n"
+                        && matches!(&r.event, ca_trace::Event::Input { .. })
+                })
+                .expect("every party traces its pi_n input");
+            if let ca_trace::Event::Input { value } = &input.event {
+                assert_eq!(*value, expected[p as usize].to_string());
+            }
+            let decide = records
+                .iter()
+                .find(|r| {
+                    r.party == Some(p)
+                        && r.scope == "pi_n"
+                        && matches!(&r.event, ca_trace::Event::Decide { .. })
+                })
+                .expect("every party traces its pi_n decision");
+            if let ca_trace::Event::Decide { value } = &decide.event {
+                assert_eq!(*value, outs[p as usize].to_string());
+            }
+        }
+        // Subprotocol decisions surface under nested scope paths.
+        assert!(records.iter().any(
+            |r| r.scope.ends_with("/pk") && matches!(&r.event, ca_trace::Event::Decide { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::pi_n;
 /// `BITSℓ(Π_ℤ) = O(ℓn + κ·n²·log²n)`, `ROUNDSℓ(Π_ℤ) = O(n log n)`.
 pub fn pi_z(ctx: &mut dyn Comm, input: &Int, ba: BaKind) -> Int {
     ctx.scoped("pi_z", |ctx| {
+        ctx.trace_input(|| input.to_string());
         let sign_out = ctx.scoped("sign_ba", |ctx| ba.run_bit(ctx, input.sign().as_bit()));
         let sign_out = Sign::from_bit(sign_out);
         let magnitude = if sign_out == input.sign() {
@@ -26,7 +27,9 @@ pub fn pi_z(ctx: &mut dyn Comm, input: &Int, ba: BaKind) -> Int {
             Nat::zero()
         };
         let mag_out = pi_n(ctx, &magnitude, ba);
-        Int::from_parts(sign_out, mag_out)
+        let out = Int::from_parts(sign_out, mag_out);
+        ctx.trace_decide(|| out.to_string());
+        out
     })
 }
 

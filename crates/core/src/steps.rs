@@ -131,6 +131,7 @@ pub fn get_output(
         // such bit was sent by an honest party; on an exact tie both
         // qualify and either is safe — pick 0 deterministically).
         let choice = 2 * ones > m;
+        ctx.trace_note("get_output", || format!("announced={m} choice={choice}"));
         let agreed = ba.run_bit(ctx, choice);
         if agreed {
             prefix.max_extend(ell)

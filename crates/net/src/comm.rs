@@ -44,6 +44,21 @@ pub trait Comm {
 
     /// Leaves the innermost metrics scope.
     fn pop_scope(&mut self);
+
+    /// Whether a trace sink is attached and recording. Instrumentation
+    /// sites check this before rendering event values, so transports
+    /// without tracing (the default) pay one virtual call and nothing
+    /// else — prefer the lazy [`CommExt::trace_input`]-style helpers.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Emits a protocol-level trace event, stamped by the transport with
+    /// this party's id, current round, and scope path. A no-op unless
+    /// the transport has a sink attached.
+    fn trace(&mut self, event: ca_trace::Event) {
+        let _ = event;
+    }
 }
 
 /// Ergonomic extension methods available on every [`Comm`]
@@ -81,6 +96,32 @@ pub trait CommExt: Comm {
     /// `n − t`: the guaranteed number of honest parties (a quorum).
     fn quorum(&self) -> usize {
         self.n() - self.t()
+    }
+
+    /// Traces this party's protocol input. `render` runs only when a
+    /// sink is recording, so rendering cost never touches untraced runs.
+    fn trace_input(&mut self, render: impl FnOnce() -> String) {
+        if self.trace_enabled() {
+            self.trace(ca_trace::Event::Input { value: render() });
+        }
+    }
+
+    /// Traces this party's decision (lazily rendered, like
+    /// [`CommExt::trace_input`]).
+    fn trace_decide(&mut self, render: impl FnOnce() -> String) {
+        if self.trace_enabled() {
+            self.trace(ca_trace::Event::Decide { value: render() });
+        }
+    }
+
+    /// Traces a free-form protocol annotation (lazily rendered).
+    fn trace_note(&mut self, label: &str, render: impl FnOnce() -> String) {
+        if self.trace_enabled() {
+            self.trace(ca_trace::Event::Note {
+                label: label.to_owned(),
+                value: render(),
+            });
+        }
     }
 }
 

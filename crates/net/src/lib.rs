@@ -43,6 +43,10 @@ mod parallel;
 mod sim;
 
 pub use adversary::{Adversary, RoundActions, RoundView, SendSpec, Silent};
+// Re-exported so downstream code can name the types that appear in
+// `Metrics` and `Sim::with_trace` (and render values for the `CommExt`
+// trace helpers) without a separate `ca-trace` import.
+pub use ca_trace::{compact_debug, Histogram, TraceSink};
 pub use comm::{Comm, CommExt};
 pub use inbox::Inbox;
 pub use metrics::{Metrics, ScopeMetrics};

@@ -9,6 +9,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use ca_trace::Histogram;
+
 /// Counters for one scope path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScopeMetrics {
@@ -29,7 +31,17 @@ impl ScopeMetrics {
 }
 
 /// Aggregate measurements of one protocol run.
-#[derive(Debug, Clone, Default)]
+///
+/// # What `honest_bits` includes
+///
+/// `honest_bits` counts **payload bits only**: `8 ×` the encoded message
+/// length handed to `Comm::send_bytes`, summed over honest senders,
+/// excluding self-delivery. It deliberately excludes transport framing
+/// (length prefixes, round tags, `ca-runtime`'s `Frame` envelope): the
+/// paper's `BITSℓ(Π)` is a statement about the protocol, not about any
+/// particular wire format. The TCP runtime's actual wire overhead is
+/// documented and computable via `ca-runtime`'s `Frame::wire_len`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Total bits sent by honest parties: the paper's `BITSℓ(Π)`.
     pub honest_bits: u64,
@@ -41,6 +53,15 @@ pub struct Metrics {
     pub rounds: u64,
     /// Per-scope breakdown, keyed by `/`-joined scope path.
     pub per_scope: BTreeMap<String, ScopeMetrics>,
+    /// Size distribution (payload bytes) of honest messages.
+    pub msg_bytes: Histogram,
+    /// Distribution of honest bits sent per completed round.
+    pub round_bits: Histogram,
+    /// Per-scope message-size distributions (same keys as `per_scope`).
+    pub scope_msg_bytes: BTreeMap<String, Histogram>,
+    /// Honest bits accumulated since the last completed round (feeds
+    /// `round_bits`; private so the histograms stay consistent).
+    bits_this_round: u64,
 }
 
 impl Metrics {
@@ -49,9 +70,15 @@ impl Metrics {
         let bits = 8 * bytes as u64;
         self.honest_bits += bits;
         self.honest_msgs += 1;
+        self.bits_this_round += bits;
+        self.msg_bytes.record(bytes as u64);
         let entry = self.per_scope.entry(scope.to_owned()).or_default();
         entry.honest_bits += bits;
         entry.honest_msgs += 1;
+        self.scope_msg_bytes
+            .entry(scope.to_owned())
+            .or_default()
+            .record(bytes as u64);
     }
 
     /// Records a corrupted-party send.
@@ -63,6 +90,8 @@ impl Metrics {
     pub fn record_round(&mut self, scope: &str) {
         self.rounds += 1;
         self.per_scope.entry(scope.to_owned()).or_default().rounds += 1;
+        self.round_bits.record(self.bits_this_round);
+        self.bits_this_round = 0;
     }
 
     /// Sums counters over every scope whose path starts with `prefix`
@@ -86,6 +115,15 @@ impl Metrics {
         for (path, m) in &other.per_scope {
             self.per_scope.entry(path.clone()).or_default().absorb(m);
         }
+        self.msg_bytes.merge(&other.msg_bytes);
+        self.round_bits.merge(&other.round_bits);
+        for (path, h) in &other.scope_msg_bytes {
+            self.scope_msg_bytes
+                .entry(path.clone())
+                .or_default()
+                .merge(h);
+        }
+        self.bits_this_round += other.bits_this_round;
     }
 }
 
@@ -121,6 +159,33 @@ mod tests {
         let sub = m.scope_subtree("a");
         assert_eq!(sub.honest_bits, 8 * 16);
         assert_eq!(sub.honest_msgs, 3);
+    }
+
+    #[test]
+    fn histograms_track_sends_and_rounds() {
+        let mut m = Metrics::default();
+        m.record_honest_send("a", 10);
+        m.record_honest_send("a", 100);
+        m.record_round("a");
+        m.record_honest_send("b", 1);
+        m.record_round("b");
+        assert_eq!(m.msg_bytes.count(), 3);
+        assert_eq!(m.msg_bytes.max(), 100);
+        assert_eq!(m.round_bits.count(), 2);
+        assert_eq!(m.round_bits.max(), 8 * 110);
+        assert_eq!(m.round_bits.min(), 8);
+        assert_eq!(m.scope_msg_bytes["a"].count(), 2);
+        assert_eq!(m.scope_msg_bytes["b"].sum(), 1);
+    }
+
+    #[test]
+    fn metrics_equality_is_field_exact() {
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        a.record_honest_send("x", 4);
+        assert_ne!(a, b);
+        b.record_honest_send("x", 4);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -128,6 +128,15 @@ where
     let n = ctx.n();
     let t = ctx.t();
     let me = ctx.me();
+    // Sub-instances multiplex onto the parent channel and keep the
+    // parent's metrics scope, so their `Comm`s do not trace individually;
+    // one parent-level note marks the composition instead.
+    if ctx.trace_enabled() {
+        ctx.trace(ca_trace::Event::Note {
+            label: "parallel".to_owned(),
+            value: format!("k={k}"),
+        });
+    }
 
     std::thread::scope(|scope| {
         let (to_parent_tx, to_parent_rx) = mpsc::channel::<(usize, ToParent)>();

@@ -3,8 +3,10 @@
 use std::any::Any;
 use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 
 use bytes::Bytes;
+use ca_trace::{Event as TraceEvent, NullSink, Record, TraceSink, ROOT_SCOPE};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::adversary::{Adversary, RoundView, Silent};
@@ -64,6 +66,7 @@ pub struct Sim {
     corruption: Vec<Corruption>,
     adversary: Box<dyn Adversary>,
     max_rounds: u64,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Sim {
@@ -81,6 +84,7 @@ impl Sim {
             corruption: vec![Corruption::Honest; n],
             adversary: Box::new(Silent),
             max_rounds: 1_000_000,
+            sink: Arc::new(NullSink),
         }
     }
 
@@ -131,6 +135,20 @@ impl Sim {
         self
     }
 
+    /// Attaches a trace sink; every event of the run is recorded into it.
+    ///
+    /// Party threads buffer their records locally and ship them with each
+    /// round submission; the executor flushes everything in a canonical
+    /// order (round start → per-party records sorted by id → fault
+    /// injections → sends → deliveries → round end), so two runs of the
+    /// same protocol with the same inputs produce *byte-identical* JSONL
+    /// traces regardless of thread scheduling — that determinism is what
+    /// makes `ca-trace diff` meaningful.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
     /// Runs `party(ctx, id)` for every protocol-running party in lock-step.
     ///
     /// # Panics
@@ -146,6 +164,8 @@ impl Sim {
         install_quiet_shutdown_hook();
         let n = self.n;
         let t = self.t;
+        let sink = Arc::clone(&self.sink);
+        let tracing = sink.enabled();
         let (submit_tx, submit_rx) = unbounded::<Submission<O>>();
         let mut deliver_txs: Vec<Option<Sender<Directive>>> = Vec::with_capacity(n);
         let mut deliver_rxs: Vec<Option<Receiver<Directive>>> = Vec::with_capacity(n);
@@ -195,6 +215,9 @@ impl Sim {
                         scopes: Vec::new(),
                         submit_tx: submit_tx.clone(),
                         deliver_rx: rx,
+                        round: 0,
+                        trace_on: tracing,
+                        trace_buf: Vec::new(),
                     };
                     let result =
                         panic::catch_unwind(AssertUnwindSafe(|| party(&mut ctx, PartyId(i))));
@@ -204,6 +227,7 @@ impl Sim {
                                 from: i,
                                 output,
                                 sends: std::mem::take(&mut ctx.pending),
+                                trace: std::mem::take(&mut ctx.trace_buf),
                             });
                         }
                         Err(payload) => {
@@ -234,11 +258,40 @@ impl Sim {
                 .collect();
             let mut round: u64 = 0;
 
+            // Statically corrupted parties are faulted before round 0.
+            if tracing {
+                for (i, mode) in self.corruption.iter().enumerate() {
+                    let strategy = match mode {
+                        Corruption::Honest => continue,
+                        Corruption::LyingHonest => "static:lying_honest",
+                        Corruption::Scripted => "static:scripted",
+                    };
+                    sink.record(&Record {
+                        party: Some(i as u64),
+                        round: 0,
+                        scope: ROOT_SCOPE.to_owned(),
+                        event: TraceEvent::FaultInjected {
+                            strategy: strategy.to_owned(),
+                        },
+                    });
+                }
+            }
+
             'rounds: loop {
+                if tracing {
+                    sink.record(&Record {
+                        party: None,
+                        round,
+                        scope: ROOT_SCOPE.to_owned(),
+                        event: TraceEvent::RoundStart,
+                    });
+                }
+
                 // --- Collect one submission from every live thread. ---
                 let mut waiting: Vec<usize> = Vec::new();
                 let mut sends: Vec<(usize, Vec<(PartyId, Bytes)>)> = Vec::new();
                 let mut scopes: Vec<(usize, String)> = Vec::new();
+                let mut party_traces: Vec<(usize, Vec<Record>)> = Vec::new();
                 let mut expected = live.clone();
                 while !expected.is_empty() {
                     // ca-lint: allow(panic-path) — in-process simulator channel, not a network path
@@ -248,6 +301,7 @@ impl Sim {
                             from,
                             sends: s,
                             scope,
+                            trace,
                         } => {
                             // Stray submissions from adaptively-corrupted
                             // zombies are discarded.
@@ -257,11 +311,13 @@ impl Sim {
                             waiting.push(from);
                             scopes.push((from, scope));
                             sends.push((from, s));
+                            party_traces.push((from, trace));
                         }
                         Submission::Done {
                             from,
                             output,
                             sends: s,
+                            trace,
                         } => {
                             if !expected.remove(&from) {
                                 continue;
@@ -271,6 +327,7 @@ impl Sim {
                                 report.outputs[from] = Some(output);
                             }
                             sends.push((from, s));
+                            party_traces.push((from, trace));
                         }
                         Submission::Panicked { from, info } => {
                             // ca-lint: allow(panic-path) — the simulator deliberately surfaces
@@ -280,6 +337,17 @@ impl Sim {
                 }
                 sends.sort_by_key(|(from, _)| *from);
                 waiting.sort_unstable();
+
+                // Flush party-buffered records in id order: submission
+                // arrival order is scheduler-dependent, this is not.
+                if tracing {
+                    party_traces.sort_by_key(|(from, _)| *from);
+                    for (_, records) in &party_traces {
+                        for r in records {
+                            sink.record(r);
+                        }
+                    }
+                }
 
                 // --- Rushing adversary phase. ---
                 let honest_sends: Vec<(PartyId, PartyId, Bytes)> = sends
@@ -308,6 +376,16 @@ impl Sim {
                             corrupted.len() <= t,
                             "adversary exceeded corruption budget t = {t}"
                         );
+                        if tracing {
+                            sink.record(&Record {
+                                party: Some(p.0 as u64),
+                                round,
+                                scope: ROOT_SCOPE.to_owned(),
+                                event: TraceEvent::FaultInjected {
+                                    strategy: "adaptive".to_owned(),
+                                },
+                            });
+                        }
                         report.outputs[p.0] = None;
                         // Tear down the party's thread if it is still running.
                         if live.remove(&p.0) {
@@ -320,6 +398,9 @@ impl Sim {
 
                 // --- Metering + delivery assembly. ---
                 let mut inboxes: Vec<Inbox> = (0..n).map(|_| Inbox::with_parties(n)).collect();
+                // (receiver, sender, bytes) for this round's deliveries, in
+                // assembly order — traced after the send events.
+                let mut deliveries: Vec<(usize, usize, u64)> = Vec::new();
                 for (from, msgs) in &sends {
                     let from_id = PartyId(*from);
                     let is_corrupt = corrupted.contains(&from_id);
@@ -333,7 +414,7 @@ impl Sim {
                         .iter()
                         .find(|(p, _)| p == from)
                         .map(|(_, s)| s.as_str())
-                        .unwrap_or("_root");
+                        .unwrap_or(ROOT_SCOPE);
                     for (to, payload) in msgs {
                         if *to != from_id {
                             // Self-delivery is free on a real network.
@@ -342,9 +423,25 @@ impl Sim {
                             } else {
                                 report.metrics.record_honest_send(scope, payload.len());
                             }
+                            if tracing {
+                                sink.record(&Record {
+                                    party: Some(*from as u64),
+                                    round,
+                                    scope: if is_corrupt {
+                                        ca_trace::ADVERSARY_SCOPE.to_owned()
+                                    } else {
+                                        scope.to_owned()
+                                    },
+                                    event: TraceEvent::Send {
+                                        to: to.0 as u64,
+                                        bytes: payload.len() as u64,
+                                    },
+                                });
+                            }
                         }
                         if to.0 < n {
                             inboxes[to.0].push(from_id, payload.clone());
+                            deliveries.push((to.0, *from, payload.len() as u64));
                         }
                     }
                 }
@@ -356,6 +453,18 @@ impl Sim {
                     );
                     assert!(spec.to.0 < n, "adversary sent to nonexistent {}", spec.to);
                     report.metrics.record_adversary_send(spec.payload.len());
+                    if tracing {
+                        sink.record(&Record {
+                            party: Some(spec.from.0 as u64),
+                            round,
+                            scope: ca_trace::ADVERSARY_SCOPE.to_owned(),
+                            event: TraceEvent::Send {
+                                to: spec.to.0 as u64,
+                                bytes: spec.payload.len() as u64,
+                            },
+                        });
+                    }
+                    deliveries.push((spec.to.0, spec.from.0, spec.payload.len() as u64));
                     inboxes[spec.to.0].push(spec.from, spec.payload);
                 }
 
@@ -372,8 +481,39 @@ impl Sim {
                     .find(|p| !corrupted.contains(&PartyId(**p)))
                     .and_then(|p| scopes.iter().find(|(q, _)| q == p))
                     .map(|(_, s)| s.clone())
-                    .unwrap_or_else(|| "_root".to_owned());
+                    .unwrap_or_else(|| ROOT_SCOPE.to_owned());
                 report.metrics.record_round(&round_scope);
+
+                // Deliveries reach only the parties still at the barrier;
+                // stamp each with the receiver's submitted scope.
+                if tracing {
+                    let mut ordered = deliveries;
+                    ordered.sort_by_key(|&(to, _, _)| to);
+                    for (to, from, bytes) in ordered {
+                        if !waiting.contains(&to) {
+                            continue;
+                        }
+                        let scope = scopes
+                            .iter()
+                            .find(|(p, _)| *p == to)
+                            .map_or(ROOT_SCOPE, |(_, s)| s.as_str());
+                        sink.record(&Record {
+                            party: Some(to as u64),
+                            round,
+                            scope: scope.to_owned(),
+                            event: TraceEvent::Deliver {
+                                from: from as u64,
+                                bytes,
+                            },
+                        });
+                    }
+                    sink.record(&Record {
+                        party: None,
+                        round,
+                        scope: round_scope.clone(),
+                        event: TraceEvent::RoundEnd,
+                    });
+                }
 
                 // --- Deliver. ---
                 for (i, inbox) in inboxes.into_iter().enumerate() {
@@ -400,6 +540,7 @@ impl Sim {
             report.corrupted = corrupted.into_iter().collect();
         });
 
+        sink.flush();
         report
     }
 }
@@ -440,11 +581,14 @@ enum Submission<O> {
         from: usize,
         sends: Vec<(PartyId, Bytes)>,
         scope: String,
+        /// Trace records buffered by the party since its last submission.
+        trace: Vec<Record>,
     },
     Done {
         from: usize,
         output: O,
         sends: Vec<(PartyId, Bytes)>,
+        trace: Vec<Record>,
     },
     Panicked {
         from: usize,
@@ -465,6 +609,34 @@ struct PartyCtx<O> {
     scopes: Vec<String>,
     submit_tx: Sender<Submission<O>>,
     deliver_rx: Receiver<Directive>,
+    /// Executor round this party's upcoming events belong to.
+    round: u64,
+    /// Whether the run has a recording sink (copied from the executor so
+    /// the disabled path never allocates).
+    trace_on: bool,
+    /// Locally buffered records; shipped with the next submission and
+    /// flushed by the executor in canonical order.
+    trace_buf: Vec<Record>,
+}
+
+impl<O> PartyCtx<O> {
+    fn scope_path(&self) -> String {
+        if self.scopes.is_empty() {
+            ROOT_SCOPE.to_owned()
+        } else {
+            self.scopes.join("/")
+        }
+    }
+
+    fn buffer(&mut self, event: TraceEvent) {
+        let record = Record {
+            party: Some(self.me.0 as u64),
+            round: self.round,
+            scope: self.scope_path(),
+            event,
+        };
+        self.trace_buf.push(record);
+    }
 }
 
 impl<O> Comm for PartyCtx<O> {
@@ -487,31 +659,51 @@ impl<O> Comm for PartyCtx<O> {
 
     fn next_round(&mut self) -> Inbox {
         let sends = std::mem::take(&mut self.pending);
-        let scope = if self.scopes.is_empty() {
-            "_root".to_owned()
-        } else {
-            self.scopes.join("/")
-        };
+        let scope = self.scope_path();
         self.submit_tx
             .send(Submission::Round {
                 from: self.me.0,
                 sends,
                 scope,
+                trace: std::mem::take(&mut self.trace_buf),
             })
             // ca-lint: allow(panic-path) — in-process simulator channel, not a network path
             .expect("executor alive");
         match self.deliver_rx.recv() {
-            Ok(Directive::Deliver(inbox)) => inbox,
+            Ok(Directive::Deliver(inbox)) => {
+                self.round += 1;
+                inbox
+            }
             Ok(Directive::Shutdown) | Err(_) => panic::panic_any(NetShutdown),
         }
     }
 
     fn push_scope(&mut self, name: &str) {
         self.scopes.push(name.to_owned());
+        if self.trace_on {
+            self.buffer(TraceEvent::ScopeEnter {
+                name: name.to_owned(),
+            });
+        }
     }
 
     fn pop_scope(&mut self) {
-        self.scopes.pop();
+        let popped = self.scopes.pop();
+        if self.trace_on {
+            if let Some(name) = popped {
+                self.buffer(TraceEvent::ScopeExit { name });
+            }
+        }
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if self.trace_on {
+            self.buffer(event);
+        }
     }
 }
 
@@ -725,6 +917,85 @@ mod tests {
             .run(|ctx, _id| {
                 ctx.exchange(&0u8);
             });
+    }
+
+    #[test]
+    fn traced_run_emits_canonical_timeline() {
+        let sink = Arc::new(ca_trace::RingBufferSink::new(4096));
+        let report = Sim::new(3).with_trace(sink.clone()).run(|ctx, id| {
+            ctx.trace_input(|| id.0.to_string());
+            ctx.scoped("phase", |ctx| {
+                ctx.exchange(&7u64);
+            });
+            // Decide the median input: stays inside the honest hull.
+            ctx.trace_decide(|| "1".to_owned());
+        });
+        assert_eq!(report.metrics.rounds, 1);
+        let records = sink.records();
+        // Round boundaries present and ordered.
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds.first(), Some(&"round_start"));
+        assert!(kinds.contains(&"round_end"), "{kinds:?}");
+        // Every party contributed input, scope, sends, deliver, decide.
+        for p in 0..3u64 {
+            let mine: Vec<&Record> = records.iter().filter(|r| r.party == Some(p)).collect();
+            assert!(mine.iter().any(|r| r.event.kind() == "input"));
+            assert!(mine
+                .iter()
+                .any(|r| matches!(&r.event, TraceEvent::ScopeEnter { name } if name == "phase")));
+            assert_eq!(
+                mine.iter().filter(|r| r.event.kind() == "send").count(),
+                2,
+                "two non-self sends"
+            );
+            assert!(mine.iter().any(|r| r.event.kind() == "deliver"));
+            assert!(mine.iter().any(|r| r.event.kind() == "decide"));
+        }
+        // Sends carry the scope they were submitted under.
+        assert!(records
+            .iter()
+            .filter(|r| r.event.kind() == "send")
+            .all(|r| r.scope == "phase"));
+        // The whole trace passes the generic invariants.
+        assert_eq!(ca_trace::check(&records), vec![]);
+    }
+
+    #[test]
+    fn traces_are_deterministic_across_runs() {
+        let run = || {
+            let sink = Arc::new(ca_trace::RingBufferSink::new(1 << 16));
+            Sim::new(4)
+                .corrupt(PartyId(3), Corruption::LyingHonest)
+                .with_trace(sink.clone())
+                .run(|ctx, id| {
+                    ctx.scoped("a", |ctx| {
+                        ctx.exchange(&(id.0 as u64));
+                    });
+                    ctx.scoped("b", |ctx| {
+                        ctx.exchange(&(id.0 as u64 + 10));
+                    });
+                });
+            sink.records()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(ca_trace::first_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn untraced_run_has_identical_metrics_to_traced() {
+        let body = |ctx: &mut dyn Comm, id: PartyId| {
+            ctx.scoped("x", |ctx| {
+                ctx.exchange(&(id.0 as u64));
+                ctx.exchange(&(id.0 as u64 * 3));
+            });
+        };
+        let plain = Sim::new(4).run(body);
+        let traced = Sim::new(4)
+            .with_trace(Arc::new(ca_trace::RingBufferSink::new(1 << 16)))
+            .run(body);
+        assert_eq!(plain.metrics, traced.metrics);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Single-process convenience cluster: `n` TCP parties on localhost.
 
 use std::net::{SocketAddr, TcpListener as StdTcpListener};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ca_net::{Comm, PartyId};
+use ca_trace::JsonlSink;
 
 use crate::{RuntimeError, TcpParty};
 
@@ -16,6 +19,7 @@ use crate::{RuntimeError, TcpParty};
 pub struct TcpCluster {
     n: usize,
     delta: Duration,
+    trace_dir: Option<PathBuf>,
 }
 
 impl TcpCluster {
@@ -29,12 +33,22 @@ impl TcpCluster {
         Self {
             n,
             delta: Duration::from_millis(500),
+            trace_dir: None,
         }
     }
 
     /// Overrides the synchrony bound `Δ`.
     pub fn with_delta(mut self, delta: Duration) -> Self {
         self.delta = delta;
+        self
+    }
+
+    /// Records each party's timeline to `dir/party_<i>.jsonl` (the
+    /// directory is created on run). TCP parties do not share a clock, so
+    /// per-party files — one self-consistent timeline each — are the
+    /// honest representation; use `ca-trace report` on any one of them.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -63,6 +77,10 @@ impl TcpCluster {
             }
         }
 
+        if let Some(dir) = &self.trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+
         let delta = self.delta;
         std::thread::scope(|scope| {
             // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count
@@ -70,8 +88,13 @@ impl TcpCluster {
             for i in 0..self.n {
                 let addrs = addrs.clone();
                 let party = &party;
+                let trace_dir = self.trace_dir.clone();
                 handles.push(scope.spawn(move || -> Result<O, RuntimeError> {
                     let mut comm = TcpParty::establish(PartyId(i), &addrs, delta)?;
+                    if let Some(dir) = trace_dir {
+                        let sink = JsonlSink::create(&dir.join(format!("party_{i}.jsonl")))?;
+                        comm.set_trace(Arc::new(sink));
+                    }
                     Ok(party(&mut comm, PartyId(i)))
                 }));
             }
@@ -135,6 +158,44 @@ mod tests {
         for out in outputs {
             assert_eq!(out, vec![100, 101, 102, 103]);
         }
+    }
+
+    #[test]
+    fn traced_cluster_writes_per_party_timelines() {
+        let dir = std::env::temp_dir().join(format!("ca_cluster_trace_{}", std::process::id()));
+        let outputs = TcpCluster::new(3)
+            .with_delta(Duration::from_millis(1000))
+            .with_trace_dir(&dir)
+            .run(|ctx, id| {
+                ctx.scoped("hello", |ctx| {
+                    ctx.exchange(&(id.index() as u64))
+                        .decode_each::<u64>()
+                        .len()
+                })
+            })
+            .unwrap();
+        assert_eq!(outputs, vec![3, 3, 3]);
+        for i in 0..3u64 {
+            let path = dir.join(format!("party_{i}.jsonl"));
+            let records = ca_trace::read_jsonl(&path).unwrap();
+            assert!(
+                records.iter().all(|r| r.party == Some(i)),
+                "party_{i}.jsonl holds only its own timeline"
+            );
+            assert!(records.iter().any(
+                |r| matches!(&r.event, ca_trace::Event::ScopeEnter { name } if name == "hello")
+            ));
+            // 2 non-self sends and at least 2 peer delivers in scope.
+            assert_eq!(
+                records
+                    .iter()
+                    .filter(|r| r.event.kind() == "send" && r.scope == "hello")
+                    .count(),
+                2
+            );
+            assert_eq!(ca_trace::check(&records), vec![]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,6 +1,24 @@
 //! Wire frames for the TCP transport.
+//!
+//! # Overhead accounting
+//!
+//! This module is the single place where transport framing overhead is
+//! defined. `ca_net::Metrics::honest_bits` — the paper's `BITSℓ(Π)` —
+//! counts **payload bits only** (the encoded protocol message handed to
+//! `Comm::send_bytes`); it never includes the envelope this module adds.
+//! The real wire cost of any frame is computable via
+//! [`Frame::wire_len`], and the per-message delta between wire and
+//! payload via [`Frame::overhead`]: the frame discriminant, the round
+//! tag, the payload length varint, and the transport's
+//! [`LENGTH_PREFIX_LEN`]-byte length prefix. Keeping the two notions
+//! separate means experiment numbers track the paper's model while the
+//! deployment cost stays auditable from one definition.
 
 use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
+
+/// Bytes of big-endian length prefix the TCP transport puts before every
+/// encoded frame.
+pub const LENGTH_PREFIX_LEN: usize = 4;
 
 /// A length-prefixed frame exchanged between two parties.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +43,33 @@ pub enum Frame {
     /// The sender's protocol terminated; treat as end-of-round for all
     /// future rounds.
     Bye,
+}
+
+impl Frame {
+    /// Protocol payload bytes carried by this frame — the quantity
+    /// metered as `honest_bits`. Zero for control frames.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Frame::Msg { payload, .. } => payload.len(),
+            Frame::Hello { .. } | Frame::Eor { .. } | Frame::Bye => 0,
+        }
+    }
+
+    /// Total bytes this frame occupies on the wire: the length prefix
+    /// plus the encoded frame body.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        LENGTH_PREFIX_LEN + self.encoded_len()
+    }
+
+    /// Framing bytes beyond the protocol payload:
+    /// `wire_len() − payload_len()`. For control frames this is the whole
+    /// frame.
+    #[must_use]
+    pub fn overhead(&self) -> usize {
+        self.wire_len() - self.payload_len()
+    }
 }
 
 impl Encode for Frame {
@@ -94,5 +139,34 @@ mod tests {
     fn junk_rejected() {
         assert!(Frame::decode_from_slice(&[9]).is_err());
         assert!(Frame::decode_from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn wire_len_matches_what_the_transport_writes() {
+        for f in [
+            Frame::Hello { from: 3 },
+            Frame::Msg {
+                round: 300,
+                payload: vec![0; 200],
+            },
+            Frame::Eor { round: 9 },
+            Frame::Bye,
+        ] {
+            let body = f.encode_to_vec();
+            assert_eq!(f.wire_len(), LENGTH_PREFIX_LEN + body.len());
+            assert_eq!(f.overhead(), f.wire_len() - f.payload_len());
+        }
+    }
+
+    #[test]
+    fn msg_overhead_excludes_payload() {
+        let f = Frame::Msg {
+            round: 1,
+            payload: vec![7; 100],
+        };
+        assert_eq!(f.payload_len(), 100);
+        // 4-byte prefix + 1-byte tag + 1-byte round varint + 1-byte len
+        // varint = 7 bytes of framing.
+        assert_eq!(f.overhead(), 7);
     }
 }

@@ -5,11 +5,13 @@ use std::error::Error;
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::mpsc as std_mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use ca_codec::{Decode, Encode};
 use ca_net::{Comm, Inbox, PartyId};
+use ca_trace::{Event as TraceEvent, Histogram, NullSink, Record, TraceSink, ROOT_SCOPE};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc as tokio_mpsc;
@@ -87,6 +89,12 @@ pub struct TcpParty {
     eor: Vec<u64>,
     /// Peers whose stream ended.
     gone: Vec<bool>,
+    /// Trace destination ([`NullSink`] unless [`TcpParty::set_trace`]).
+    sink: Arc<dyn TraceSink>,
+    /// Observed `next_round` barrier latency in microseconds (measured
+    /// with the injected [`Clock`], so deterministic under a manual
+    /// clock).
+    round_latency_us: Histogram,
     /// Keeps the tokio runtime driving the sockets alive.
     _runtime: tokio::runtime::Runtime,
 }
@@ -203,12 +211,45 @@ impl TcpParty {
                 g[me.index()] = true; // never wait on ourselves
                 g
             },
+            sink: Arc::new(NullSink),
+            round_latency_us: Histogram::new(),
             _runtime: runtime,
         })
     }
 
+    /// Attaches a trace sink. Unlike the simulator (which interleaves all
+    /// parties into one stream), a TCP party records only its own
+    /// timeline; pair one [`ca_trace::JsonlSink`] per party (see
+    /// `TcpCluster::with_trace_dir`).
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Barrier latency observed by this party's `next_round` calls, in
+    /// microseconds.
+    pub fn round_latency_us(&self) -> &Histogram {
+        &self.round_latency_us
+    }
+
     fn peer_done(&self, peer: usize, round: u64) -> bool {
         self.gone[peer] || self.eor[peer] >= round
+    }
+
+    fn scope_path(&self) -> String {
+        if self.scopes.is_empty() {
+            ROOT_SCOPE.to_owned()
+        } else {
+            self.scopes.join("/")
+        }
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        self.sink.record(&Record {
+            party: Some(self.me.index() as u64),
+            round: self.round,
+            scope: self.scope_path(),
+            event,
+        });
     }
 }
 
@@ -233,10 +274,21 @@ impl Comm for TcpParty {
     fn next_round(&mut self) -> Inbox {
         self.round += 1;
         let round = self.round;
+        let tracing = self.sink.enabled();
+        if tracing {
+            self.emit(TraceEvent::RoundStart);
+        }
+        let wait_start = self.clock.now();
         let mut inbox = Inbox::with_parties(self.n);
 
         // Flush sends (self-delivery is local).
         for (to, payload) in std::mem::take(&mut self.pending) {
+            if tracing && to != self.me {
+                self.emit(TraceEvent::Send {
+                    to: to.index() as u64,
+                    bytes: payload.len() as u64,
+                });
+            }
             if to == self.me {
                 inbox.push(self.me, payload);
             } else if let Some(tx) = &self.writers[to.index()] {
@@ -290,15 +342,54 @@ impl Comm for TcpParty {
                 Err(std_mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
+        let waited = self.clock.now().saturating_sub(wait_start);
+        self.round_latency_us
+            .record(u64::try_from(waited.as_micros()).unwrap_or(u64::MAX));
+        if tracing {
+            for from in 0..self.n {
+                let sizes: Vec<u64> = inbox
+                    .raw_from(PartyId(from))
+                    .iter()
+                    .map(|raw| raw.len() as u64)
+                    .collect();
+                for bytes in sizes {
+                    self.emit(TraceEvent::Deliver {
+                        from: from as u64,
+                        bytes,
+                    });
+                }
+            }
+            self.emit(TraceEvent::RoundEnd);
+        }
         inbox
     }
 
     fn push_scope(&mut self, name: &str) {
         self.scopes.push(name.to_owned());
+        if self.sink.enabled() {
+            self.emit(TraceEvent::ScopeEnter {
+                name: name.to_owned(),
+            });
+        }
     }
 
     fn pop_scope(&mut self) {
-        self.scopes.pop();
+        let popped = self.scopes.pop();
+        if self.sink.enabled() {
+            if let Some(name) = popped {
+                self.emit(TraceEvent::ScopeExit { name });
+            }
+        }
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    fn trace(&mut self, event: ca_trace::Event) {
+        if self.sink.enabled() {
+            self.emit(event);
+        }
     }
 }
 
@@ -307,6 +398,7 @@ impl Drop for TcpParty {
         for tx in self.writers.iter().flatten() {
             let _ = tx.send(Frame::Bye);
         }
+        self.sink.flush();
     }
 }
 

@@ -1,0 +1,552 @@
+//! Trace-level invariant checking (`ca-trace check`).
+//!
+//! These are *observability* invariants: properties every well-formed
+//! trace of an honest (or honestly-simulated) run must satisfy,
+//! independent of which protocol produced it. Violations point at the
+//! exact record, so a failing adversarial run can be localized to a
+//! party/round/scope without re-running anything.
+//!
+//! Checked invariants:
+//!
+//! 1. **round-monotone** — each party's records carry non-decreasing
+//!    round numbers (stream order is emission order per party).
+//! 2. **round-alternation** — executor records (`party = null`)
+//!    alternate `RoundStart`/`RoundEnd` with increasing rounds; a
+//!    trailing `RoundStart` is tolerated (a run that decides mid-round
+//!    never closes its last round).
+//! 3. **scope-stack** — per party, `ScopeEnter`/`ScopeExit` nest
+//!    properly and every record's stamped scope path matches the
+//!    reconstructed stack.
+//! 4. **send-in-scope** — every *honest* `Send` happens inside a named
+//!    scope (never at `_root`): all protocol communication must be
+//!    attributable to a subprotocol.
+//! 5. **decide-in-hull** — every honest `Decide` whose value renders as
+//!    a decimal integer lies inside `[min, max]` of the honest `Input`
+//!    values (the convexity guarantee, checked per trace). A decimal
+//!    input too large for `i128` makes that scope's hull unknown and
+//!    disables the check there — a hull missing an endpoint must not
+//!    fire on correct runs.
+//!
+//! Parties with a `FaultInjected` event anywhere in the trace are
+//! excluded from invariants 3–5: corrupted parties may do anything.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Event, Record, ADVERSARY_SCOPE, ROOT_SCOPE};
+
+/// One invariant violation, anchored to a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending record in the input slice.
+    pub index: usize,
+    /// Which invariant fired (stable kebab-case name).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] record #{}: {}",
+            self.rule, self.index, self.message
+        )
+    }
+}
+
+/// Parties named by `FaultInjected` events (anywhere in the trace).
+#[must_use]
+pub fn faulted_parties(records: &[Record]) -> BTreeSet<u64> {
+    records
+        .iter()
+        .filter(|r| matches!(r.event, Event::FaultInjected { .. }))
+        .filter_map(|r| r.party)
+        .collect()
+}
+
+/// Runs every invariant over a trace; returns all violations in record
+/// order (empty = trace is well-formed).
+#[must_use]
+pub fn check(records: &[Record]) -> Vec<Violation> {
+    let faulted = faulted_parties(records);
+    let mut out = Vec::new();
+    check_round_monotone(records, &mut out);
+    check_round_alternation(records, &mut out);
+    check_scope_stacks(records, &faulted, &mut out);
+    check_sends_in_scope(records, &faulted, &mut out);
+    check_decides_in_hull(records, &faulted, &mut out);
+    out.sort_by_key(|v| v.index);
+    out
+}
+
+fn check_round_monotone(records: &[Record], out: &mut Vec<Violation>) {
+    let mut last: BTreeMap<Option<u64>, u64> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let prev = last.entry(r.party).or_insert(r.round);
+        if r.round < *prev {
+            out.push(Violation {
+                index: i,
+                rule: "round-monotone",
+                message: format!(
+                    "party {} went back from round {} to round {}",
+                    party_name(r.party),
+                    prev,
+                    r.round
+                ),
+            });
+        }
+        *prev = (*prev).max(r.round);
+    }
+}
+
+fn check_round_alternation(records: &[Record], out: &mut Vec<Violation>) {
+    // Executor boundary records only; traces from the TCP runtime stamp
+    // boundaries per party, so apply the same state machine per party.
+    let mut open: BTreeMap<Option<u64>, Option<u64>> = BTreeMap::new();
+    let mut last_index: BTreeMap<Option<u64>, usize> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        match r.event {
+            Event::RoundStart => {
+                if let Some(Some(openr)) = open.get(&r.party) {
+                    out.push(Violation {
+                        index: i,
+                        rule: "round-alternation",
+                        message: format!(
+                            "{}: round {} started while round {openr} still open",
+                            party_name(r.party),
+                            r.round
+                        ),
+                    });
+                }
+                open.insert(r.party, Some(r.round));
+                last_index.insert(r.party, i);
+            }
+            Event::RoundEnd => {
+                match open.get(&r.party) {
+                    Some(Some(openr)) if *openr == r.round => {}
+                    _ => out.push(Violation {
+                        index: i,
+                        rule: "round-alternation",
+                        message: format!(
+                            "{}: round {} ended without a matching start",
+                            party_name(r.party),
+                            r.round
+                        ),
+                    }),
+                }
+                open.insert(r.party, None);
+            }
+            _ => {}
+        }
+    }
+    // A trailing open round is fine (runs often stop mid-round on
+    // decide); an open round followed by nothing else is the only case.
+}
+
+fn check_scope_stacks(records: &[Record], faulted: &BTreeSet<u64>, out: &mut Vec<Violation>) {
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let Some(party) = r.party else { continue };
+        if faulted.contains(&party) {
+            continue;
+        }
+        let stack = stacks.entry(party).or_default();
+        match &r.event {
+            Event::ScopeEnter { name } => {
+                stack.push(name.clone());
+                let want = join_scope(stack);
+                if r.scope != want {
+                    out.push(Violation {
+                        index: i,
+                        rule: "scope-stack",
+                        message: format!(
+                            "P{party} entered `{name}` but stamped scope `{}` (expected `{want}`)",
+                            r.scope
+                        ),
+                    });
+                    // Resynchronize to the stamped path.
+                    *stack = split_scope(&r.scope);
+                }
+            }
+            Event::ScopeExit { name } => {
+                if stack.last() != Some(name) {
+                    out.push(Violation {
+                        index: i,
+                        rule: "scope-stack",
+                        message: format!(
+                            "P{party} exited `{name}` but innermost scope is `{}`",
+                            stack.last().map_or(ROOT_SCOPE, String::as_str)
+                        ),
+                    });
+                }
+                stack.pop();
+                let want = join_scope(stack);
+                if r.scope != want {
+                    out.push(Violation {
+                        index: i,
+                        rule: "scope-stack",
+                        message: format!(
+                            "P{party} exit stamped scope `{}` (expected `{want}`)",
+                            r.scope
+                        ),
+                    });
+                    *stack = split_scope(&r.scope);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_sends_in_scope(records: &[Record], faulted: &BTreeSet<u64>, out: &mut Vec<Violation>) {
+    for (i, r) in records.iter().enumerate() {
+        let Event::Send { to, .. } = r.event else {
+            continue;
+        };
+        let honest = r.party.is_some_and(|p| !faulted.contains(&p));
+        if honest && (r.scope == ROOT_SCOPE || r.scope == ADVERSARY_SCOPE || r.scope.is_empty()) {
+            out.push(Violation {
+                index: i,
+                rule: "send-in-scope",
+                message: format!(
+                    "honest {} sent to P{to} outside any protocol scope",
+                    party_name(r.party)
+                ),
+            });
+        }
+    }
+}
+
+fn check_decides_in_hull(records: &[Record], faulted: &BTreeSet<u64>, out: &mut Vec<Violation>) {
+    // Hull of honest inputs, per scope path: protocols report Input and
+    // Decide under the same scope, and separate protocol instances in
+    // one trace (e.g. `pi_n` then a baseline) must not mix hulls.
+    // `None` marks a scope whose hull is unknown: some honest input was
+    // decimal but exceeded i128 (arbitrary-size `Nat` runs), so checking
+    // against the remaining endpoints would produce false violations.
+    let mut hulls: BTreeMap<&str, Option<(i128, i128)>> = BTreeMap::new();
+    for r in records {
+        let Event::Input { value } = &r.event else {
+            continue;
+        };
+        if r.party.is_none_or(|p| faulted.contains(&p)) {
+            continue;
+        }
+        if !looks_decimal(value) {
+            continue;
+        }
+        let parsed = parse_decimal(value);
+        let slot = hulls
+            .entry(r.scope.as_str())
+            .or_insert_with(|| parsed.map(|v| (v, v)));
+        match (parsed, slot.as_mut()) {
+            (Some(v), Some((lo, hi))) => {
+                *lo = (*lo).min(v);
+                *hi = (*hi).max(v);
+            }
+            (None, _) => *slot = None,
+            (Some(_), None) => {}
+        }
+    }
+    for (i, r) in records.iter().enumerate() {
+        let Event::Decide { value } = &r.event else {
+            continue;
+        };
+        if r.party.is_none_or(|p| faulted.contains(&p)) {
+            continue;
+        }
+        let (Some(v), Some(&Some((lo, hi)))) = (parse_decimal(value), hulls.get(r.scope.as_str()))
+        else {
+            continue;
+        };
+        if v < lo || v > hi {
+            out.push(Violation {
+                index: i,
+                rule: "decide-in-hull",
+                message: format!(
+                    "{} decided {v} in scope `{}`, outside honest input hull [{lo}, {hi}]",
+                    party_name(r.party),
+                    r.scope
+                ),
+            });
+        }
+    }
+}
+
+/// `true` if `s` is an optionally-signed run of decimal digits —
+/// regardless of whether it fits in `i128`.
+fn looks_decimal(s: &str) -> bool {
+    let body = s.strip_prefix('-').unwrap_or(s);
+    !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Parses an optionally-signed decimal integer rendering; `None` for
+/// values that are not plain integers (hex digests, tuples, …) or that
+/// overflow `i128`.
+fn parse_decimal(s: &str) -> Option<i128> {
+    if !looks_decimal(s) {
+        return None;
+    }
+    s.parse::<i128>().ok()
+}
+
+fn party_name(party: Option<u64>) -> String {
+    party.map_or_else(|| "exec".to_owned(), |p| format!("P{p}"))
+}
+
+fn join_scope(stack: &[String]) -> String {
+    if stack.is_empty() {
+        ROOT_SCOPE.to_owned()
+    } else {
+        stack.join("/")
+    }
+}
+
+fn split_scope(scope: &str) -> Vec<String> {
+    if scope == ROOT_SCOPE || scope.is_empty() {
+        Vec::new()
+    } else {
+        scope.split('/').map(str::to_owned).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(party: Option<u64>, round: u64, scope: &str, event: Event) -> Record {
+        Record {
+            party,
+            round,
+            scope: scope.to_owned(),
+            event,
+        }
+    }
+
+    fn enter(p: u64, round: u64, full: &str, name: &str) -> Record {
+        r(
+            Some(p),
+            round,
+            full,
+            Event::ScopeEnter {
+                name: name.to_owned(),
+            },
+        )
+    }
+
+    fn exit(p: u64, round: u64, full: &str, name: &str) -> Record {
+        r(
+            Some(p),
+            round,
+            full,
+            Event::ScopeExit {
+                name: name.to_owned(),
+            },
+        )
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let trace = vec![
+            r(None, 1, ROOT_SCOPE, Event::RoundStart),
+            r(
+                Some(0),
+                1,
+                ROOT_SCOPE,
+                Event::Input {
+                    value: "5".to_owned(),
+                },
+            ),
+            enter(0, 1, "pi_n", "pi_n"),
+            r(Some(0), 1, "pi_n", Event::Send { to: 1, bytes: 3 }),
+            exit(0, 1, ROOT_SCOPE, "pi_n"),
+            r(None, 1, ROOT_SCOPE, Event::RoundEnd),
+            r(None, 2, ROOT_SCOPE, Event::RoundStart),
+            r(
+                Some(0),
+                2,
+                ROOT_SCOPE,
+                Event::Decide {
+                    value: "5".to_owned(),
+                },
+            ),
+        ];
+        assert_eq!(check(&trace), vec![]);
+    }
+
+    #[test]
+    fn round_regression_fires() {
+        let trace = vec![
+            r(Some(0), 5, ROOT_SCOPE, Event::RoundStart),
+            r(Some(0), 4, ROOT_SCOPE, Event::RoundEnd),
+        ];
+        let v = check(&trace);
+        assert!(v.iter().any(|v| v.rule == "round-monotone"), "{v:?}");
+    }
+
+    #[test]
+    fn unscoped_honest_send_fires() {
+        let trace = vec![r(Some(2), 1, ROOT_SCOPE, Event::Send { to: 0, bytes: 1 })];
+        let v = check(&trace);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "send-in-scope");
+    }
+
+    #[test]
+    fn faulted_parties_are_exempt() {
+        let trace = vec![
+            r(
+                Some(2),
+                1,
+                ROOT_SCOPE,
+                Event::FaultInjected {
+                    strategy: "scripted".to_owned(),
+                },
+            ),
+            r(Some(2), 1, ADVERSARY_SCOPE, Event::Send { to: 0, bytes: 1 }),
+            r(
+                Some(2),
+                2,
+                ROOT_SCOPE,
+                Event::Decide {
+                    value: "999999".to_owned(),
+                },
+            ),
+        ];
+        assert_eq!(check(&trace), vec![]);
+    }
+
+    #[test]
+    fn decide_outside_hull_fires() {
+        let trace = vec![
+            r(
+                Some(0),
+                1,
+                "pi_n",
+                Event::Input {
+                    value: "3".to_owned(),
+                },
+            ),
+            r(
+                Some(1),
+                1,
+                "pi_n",
+                Event::Input {
+                    value: "7".to_owned(),
+                },
+            ),
+            r(
+                Some(0),
+                9,
+                "pi_n",
+                Event::Decide {
+                    value: "8".to_owned(),
+                },
+            ),
+        ];
+        let v = check(&trace);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "decide-in-hull");
+        assert!(v[0].message.contains("[3, 7]"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn oversized_decimal_input_disables_hull_check() {
+        // P1's input is decimal but > i128::MAX: the scope hull becomes
+        // unknown, so a decide outside the *parseable* inputs must NOT
+        // fire (it may well be inside the true hull).
+        let big = "9".repeat(60);
+        let trace = vec![
+            r(
+                Some(0),
+                1,
+                "pi_n",
+                Event::Input {
+                    value: "3".to_owned(),
+                },
+            ),
+            r(Some(1), 1, "pi_n", Event::Input { value: big }),
+            r(
+                Some(0),
+                9,
+                "pi_n",
+                Event::Decide {
+                    value: "65535".to_owned(),
+                },
+            ),
+        ];
+        assert_eq!(check(&trace), vec![]);
+    }
+
+    #[test]
+    fn negative_hull_values_parse() {
+        let trace = vec![
+            r(
+                Some(0),
+                1,
+                "pi_z",
+                Event::Input {
+                    value: "-10".to_owned(),
+                },
+            ),
+            r(
+                Some(1),
+                1,
+                "pi_z",
+                Event::Input {
+                    value: "-2".to_owned(),
+                },
+            ),
+            r(
+                Some(0),
+                3,
+                "pi_z",
+                Event::Decide {
+                    value: "-5".to_owned(),
+                },
+            ),
+            r(
+                Some(1),
+                3,
+                "pi_z",
+                Event::Decide {
+                    value: "-1".to_owned(),
+                },
+            ),
+        ];
+        let v = check(&trace);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "decide-in-hull");
+    }
+
+    #[test]
+    fn mismatched_scope_stack_fires() {
+        let trace = vec![
+            enter(0, 1, "pi_n", "pi_n"),
+            exit(0, 1, ROOT_SCOPE, "wrong_name"),
+        ];
+        let v = check(&trace);
+        assert!(v.iter().any(|v| v.rule == "scope-stack"), "{v:?}");
+    }
+
+    #[test]
+    fn double_round_start_fires() {
+        let trace = vec![
+            r(None, 1, ROOT_SCOPE, Event::RoundStart),
+            r(None, 2, ROOT_SCOPE, Event::RoundStart),
+        ];
+        let v = check(&trace);
+        assert!(v.iter().any(|v| v.rule == "round-alternation"), "{v:?}");
+    }
+
+    #[test]
+    fn trailing_round_start_tolerated() {
+        let trace = vec![
+            r(None, 1, ROOT_SCOPE, Event::RoundStart),
+            r(None, 1, ROOT_SCOPE, Event::RoundEnd),
+            r(None, 2, ROOT_SCOPE, Event::RoundStart),
+        ];
+        assert_eq!(check(&trace), vec![]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Trace alignment (`ca-trace diff`): find the first event where two
+//! runs diverge.
+//!
+//! Because the simulator flushes records in a canonical order (see
+//! `ca-net::Sim::with_trace`), two runs of the same protocol with the
+//! same inputs produce byte-identical traces; the first differing record
+//! therefore localizes *exactly* where an injected fault (or a
+//! nondeterminism bug) first changed behavior — with party, round, and
+//! scope attached.
+
+use crate::Record;
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Position (record index) of the first disagreement.
+    pub index: usize,
+    /// Record on the left side, `None` if the left trace ended first.
+    pub left: Option<Record>,
+    /// Record on the right side, `None` if the right trace ended first.
+    pub right: Option<Record>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "traces diverge at record #{}:", self.index)?;
+        match &self.left {
+            Some(r) => writeln!(f, "  left : {r}")?,
+            None => writeln!(f, "  left : <trace ended>")?,
+        }
+        match &self.right {
+            Some(r) => write!(f, "  right: {r}"),
+            None => write!(f, "  right: <trace ended>"),
+        }
+    }
+}
+
+/// Compares two traces record-by-record; `None` means identical.
+#[must_use]
+pub fn first_divergence(left: &[Record], right: &[Record]) -> Option<Divergence> {
+    let common = left.len().min(right.len());
+    for i in 0..common {
+        if left[i] != right[i] {
+            return Some(Divergence {
+                index: i,
+                left: Some(left[i].clone()),
+                right: Some(right[i].clone()),
+            });
+        }
+    }
+    if left.len() != right.len() {
+        return Some(Divergence {
+            index: common,
+            left: left.get(common).cloned(),
+            right: right.get(common).cloned(),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, ROOT_SCOPE};
+
+    fn rec(round: u64, bytes: u64) -> Record {
+        Record {
+            party: Some(1),
+            round,
+            scope: "pi_n".to_owned(),
+            event: Event::Send { to: 0, bytes },
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = vec![rec(1, 5), rec(2, 6)];
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+    }
+
+    #[test]
+    fn first_difference_is_reported() {
+        let a = vec![rec(1, 5), rec(2, 6), rec(3, 7)];
+        let b = vec![rec(1, 5), rec(2, 9), rec(3, 7)];
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.unwrap().round, 2);
+        let text = d.right.unwrap().to_string();
+        assert!(text.contains("bytes=9"), "{text}");
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let a = vec![rec(1, 5)];
+        let b = vec![rec(1, 5), rec(2, 6)];
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, None);
+        assert!(d.right.is_some());
+        let text = d.to_string();
+        assert!(text.contains("<trace ended>"), "{text}");
+    }
+
+    #[test]
+    fn display_carries_party_round_scope() {
+        let a = vec![rec(4, 5)];
+        let b = vec![Record {
+            party: Some(2),
+            round: 4,
+            scope: ROOT_SCOPE.to_owned(),
+            event: Event::RoundStart,
+        }];
+        let text = first_divergence(&a, &b).unwrap().to_string();
+        assert!(text.contains("P1 r4 [pi_n] send"), "{text}");
+        assert!(text.contains("P2 r4 [_root] round_start"), "{text}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Minimal flat-JSON reader/writer for the JSONL trace format.
+//!
+//! The trace schema only ever nests one level deep (a flat object of
+//! strings, unsigned integers, and `null`), so a full JSON parser would
+//! be dead weight; this module implements exactly the subset
+//! [`Record::to_jsonl`](crate::Record::to_jsonl) emits plus enough
+//! tolerance (whitespace, unknown keys) for hand-edited fixtures.
+
+use std::collections::BTreeMap;
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// An unsigned integer (the schema never uses floats or negatives).
+    Num(u64),
+    /// A string (already unescaped).
+    Str(String),
+}
+
+/// A parsed flat JSON object.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct JsonObject {
+    fields: BTreeMap<String, JsonValue>,
+}
+
+impl JsonObject {
+    /// Looks up a field.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.get(key)
+    }
+
+    /// Fetches a required string field.
+    ///
+    /// # Errors
+    ///
+    /// When the field is absent or not a string.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
+        match self.fields.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s),
+            Some(other) => Err(format!("field `{key}` is not a string: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// Fetches a required unsigned-integer field.
+    ///
+    /// # Errors
+    ///
+    /// When the field is absent or not a number.
+    pub fn num(&self, key: &str) -> Result<u64, String> {
+        match self.fields.get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            Some(other) => Err(format!("field `{key}` is not a number: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping applied.
+pub fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                out.push(char::from_digit(b >> 4, 16).unwrap_or('0'));
+                out.push(char::from_digit(b & 0xf, 16).unwrap_or('0'));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}` with string/number/null
+/// values).
+///
+/// # Errors
+///
+/// A human-readable message on malformed input.
+pub fn parse_object(input: &str) -> Result<JsonObject, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut obj = JsonObject::default();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            obj.fields.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(obj)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected `{}`, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(JsonValue::Null)
+                } else {
+                    Err("bad literal (expected null)".to_owned())
+                }
+            }
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                text.parse::<u64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number `{text}`: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| "bad \\u escape".to_owned())?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or_else(|| "bad codepoint".to_owned())?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: re-decode from the original slice.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("bad utf8 in string: {e}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let obj = parse_object(r#"{"a":"x","b":42,"c":null}"#).unwrap();
+        assert_eq!(obj.str("a").unwrap(), "x");
+        assert_eq!(obj.num("b").unwrap(), 42);
+        assert_eq!(obj.get("c"), Some(&JsonValue::Null));
+        assert!(obj.str("missing").is_err());
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty() {
+        let obj = parse_object(" { \"k\" : 7 } ").unwrap();
+        assert_eq!(obj.num("k").unwrap(), 7);
+        assert!(parse_object("{}").unwrap().get("x").is_none());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — π";
+        let mut enc = String::new();
+        json_escape(nasty, &mut enc);
+        let obj = parse_object(&format!("{{\"k\":\"{enc}\"}}")).unwrap();
+        assert_eq!(obj.str("k").unwrap(), nasty);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object("{\"a\":}").is_err());
+        assert!(parse_object("{\"a\":1}x").is_err());
+        assert!(parse_object("[1,2]").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! `ca-trace`: structured protocol tracing for the convex-agreement
+//! stack.
+//!
+//! The paper's claims are bounds on `BITSℓ(Π)` and `ROUNDSℓ(Π)`; this
+//! crate gives every run a *timeline* to check those bounds against.
+//! Instrumented components (`ca-net`'s simulator and `Comm` layer,
+//! `ca-runtime`'s TCP party, the `ca-core`/`ca-ba` protocols) emit typed
+//! [`Event`]s — round boundaries, sends/delivers, scope transitions,
+//! inputs/decisions, fault injections — each stamped with party id,
+//! round, and the hierarchical metrics scope path.
+//!
+//! # Design rules
+//!
+//! - **Zero dependencies.** The trace layer sits below every other
+//!   crate; it cannot pull any of them (or anything external) in.
+//! - **Disabled means free.** Every emit site checks
+//!   [`TraceSink::enabled`] before rendering values, so a [`NullSink`]
+//!   costs one virtual call — metrics stay bit-identical to
+//!   uninstrumented runs (enforced by `scripts/check.sh`).
+//! - **Deterministic order.** The simulator buffers per-party records
+//!   and flushes them in a canonical order, so equal runs produce
+//!   byte-identical JSONL and [`first_divergence`] is meaningful.
+//! - **Integer math only.** [`Histogram`] uses fixed log₂ buckets and
+//!   rank-walk quantiles: no floats, no cross-platform drift.
+//!
+//! # Artifacts
+//!
+//! [`JsonlSink`] writes one flat JSON object per record; the `ca-trace`
+//! binary consumes those files:
+//!
+//! - `ca-trace report run.jsonl` — per-scope/per-party/per-round table,
+//! - `ca-trace diff a.jsonl b.jsonl` — first divergent event,
+//! - `ca-trace check run.jsonl` — trace invariants ([`check`]).
+
+mod check;
+mod diff;
+mod event;
+mod hist;
+mod json;
+mod report;
+mod sink;
+
+pub use check::{check, faulted_parties, Violation};
+pub use diff::{first_divergence, Divergence};
+pub use event::{compact_debug, hex, Event, Record, ADVERSARY_SCOPE, ROOT_SCOPE};
+pub use hist::{Histogram, BUCKETS};
+pub use json::{json_escape, parse_object, JsonObject, JsonValue};
+pub use report::{aggregate, render, PartyStats, Report, RoundStats, ScopeStats};
+pub use sink::{read_jsonl, JsonlSink, NullSink, RingBufferSink, TraceSink};

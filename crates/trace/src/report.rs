@@ -1,0 +1,232 @@
+//! Human-readable trace summaries (`ca-trace report`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{check::faulted_parties, Event, Histogram, Record};
+
+/// Aggregated per-scope counters.
+#[derive(Debug, Default, Clone)]
+pub struct ScopeStats {
+    /// Number of `Send` events attributed to the scope.
+    pub sends: u64,
+    /// Total payload bytes sent in the scope.
+    pub bytes: u64,
+    /// Message-size histogram for the scope.
+    pub msg_bytes: Histogram,
+    /// Decisions recorded in the scope.
+    pub decides: u64,
+}
+
+/// Aggregated per-party counters.
+#[derive(Debug, Default, Clone)]
+pub struct PartyStats {
+    /// Number of `Send` events the party emitted.
+    pub sends: u64,
+    /// Total payload bytes the party sent.
+    pub bytes: u64,
+    /// Values the party decided (in order).
+    pub decides: Vec<String>,
+    /// Whether the party was corrupted at any point.
+    pub faulted: bool,
+}
+
+/// Aggregated per-round counters.
+#[derive(Debug, Default, Clone)]
+pub struct RoundStats {
+    /// `Send` events in the round.
+    pub sends: u64,
+    /// Payload bytes sent in the round.
+    pub bytes: u64,
+}
+
+/// Everything `report` renders, exposed for programmatic use
+/// (`ca-bench` reuses the per-scope aggregation for its artifacts).
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Total records in the trace.
+    pub records: usize,
+    /// Highest round stamped on any record.
+    pub max_round: u64,
+    /// Per-scope aggregates, keyed by scope path.
+    pub scopes: BTreeMap<String, ScopeStats>,
+    /// Per-party aggregates, keyed by party id.
+    pub parties: BTreeMap<u64, PartyStats>,
+    /// Per-round aggregates, keyed by round.
+    pub rounds: BTreeMap<u64, RoundStats>,
+}
+
+/// Builds the aggregate view of a trace.
+#[must_use]
+pub fn aggregate(records: &[Record]) -> Report {
+    let faulted = faulted_parties(records);
+    let mut rep = Report {
+        records: records.len(),
+        ..Report::default()
+    };
+    for (p, stats) in faulted.iter().map(|&p| {
+        (
+            p,
+            PartyStats {
+                faulted: true,
+                ..PartyStats::default()
+            },
+        )
+    }) {
+        rep.parties.insert(p, stats);
+    }
+    for r in records {
+        rep.max_round = rep.max_round.max(r.round);
+        match &r.event {
+            Event::Send { bytes, .. } => {
+                let s = rep.scopes.entry(r.scope.clone()).or_default();
+                s.sends += 1;
+                s.bytes += bytes;
+                s.msg_bytes.record(*bytes);
+                let round = rep.rounds.entry(r.round).or_default();
+                round.sends += 1;
+                round.bytes += bytes;
+                if let Some(p) = r.party {
+                    let party = rep.parties.entry(p).or_default();
+                    party.sends += 1;
+                    party.bytes += bytes;
+                }
+            }
+            Event::Decide { value } => {
+                rep.scopes.entry(r.scope.clone()).or_default().decides += 1;
+                if let Some(p) = r.party {
+                    rep.parties
+                        .entry(p)
+                        .or_default()
+                        .decides
+                        .push(value.clone());
+                }
+            }
+            _ => {
+                if let Some(p) = r.party {
+                    rep.parties.entry(p).or_default();
+                }
+            }
+        }
+    }
+    rep
+}
+
+/// Renders the report as the `ca-trace report` table.
+#[must_use]
+pub fn render(rep: &Report) -> String {
+    let mut out = String::new();
+    let faulted = rep.parties.values().filter(|p| p.faulted).count();
+    let _ = writeln!(
+        out,
+        "trace: {} records, {} rounds, {} parties ({faulted} faulted)",
+        rep.records,
+        rep.max_round,
+        rep.parties.len()
+    );
+
+    let _ = writeln!(out, "\nper-scope:");
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>8} {:>12} {:>8} {:>10} {:>10}",
+        "scope", "sends", "bytes", "decides", "p50(B)", "max(B)"
+    );
+    for (scope, s) in &rep.scopes {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>8} {:>10} {:>10}",
+            scope,
+            s.sends,
+            s.bytes,
+            s.decides,
+            s.msg_bytes.quantile_permille(500),
+            s.msg_bytes.max()
+        );
+    }
+
+    let _ = writeln!(out, "\nper-party:");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>8} {:>12} {:>8}  decided",
+        "party", "sends", "bytes", "status"
+    );
+    for (p, s) in &rep.parties {
+        let status = if s.faulted { "FAULTY" } else { "honest" };
+        let decided = if s.decides.is_empty() {
+            "-".to_owned()
+        } else {
+            s.decides.join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>12} {:>8}  {}",
+            format!("P{p}"),
+            s.sends,
+            s.bytes,
+            status,
+            decided
+        );
+    }
+
+    let _ = writeln!(out, "\nper-round:");
+    let _ = writeln!(out, "  {:<8} {:>8} {:>12}", "round", "sends", "bytes");
+    for (round, s) in &rep.rounds {
+        let _ = writeln!(out, "  {:<8} {:>8} {:>12}", round, s.sends, s.bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ROOT_SCOPE;
+
+    fn send(p: u64, round: u64, scope: &str, bytes: u64) -> Record {
+        Record {
+            party: Some(p),
+            round,
+            scope: scope.to_owned(),
+            event: Event::Send { to: 0, bytes },
+        }
+    }
+
+    #[test]
+    fn aggregates_scopes_parties_rounds() {
+        let trace = vec![
+            send(0, 1, "pi_n", 10),
+            send(1, 1, "pi_n", 6),
+            send(0, 2, "pi_n/path_ba", 4),
+            Record {
+                party: Some(1),
+                round: 3,
+                scope: "pi_n".to_owned(),
+                event: Event::Decide {
+                    value: "9".to_owned(),
+                },
+            },
+            Record {
+                party: Some(2),
+                round: 1,
+                scope: ROOT_SCOPE.to_owned(),
+                event: Event::FaultInjected {
+                    strategy: "garbage".to_owned(),
+                },
+            },
+        ];
+        let rep = aggregate(&trace);
+        assert_eq!(rep.max_round, 3);
+        assert_eq!(rep.scopes["pi_n"].sends, 2);
+        assert_eq!(rep.scopes["pi_n"].bytes, 16);
+        assert_eq!(rep.scopes["pi_n"].decides, 1);
+        assert_eq!(rep.scopes["pi_n/path_ba"].sends, 1);
+        assert_eq!(rep.parties[&0].sends, 2);
+        assert_eq!(rep.parties[&1].decides, vec!["9".to_owned()]);
+        assert!(rep.parties[&2].faulted);
+        assert_eq!(rep.rounds[&1].sends, 2);
+        assert_eq!(rep.rounds[&2].bytes, 4);
+
+        let text = render(&rep);
+        assert!(text.contains("pi_n/path_ba"), "{text}");
+        assert!(text.contains("FAULTY"), "{text}");
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`net`] — the synchronous-model simulator with exact `BITSℓ`/`ROUNDSℓ`
 //!   accounting and rushing adaptive adversaries.
 //! * [`adversary`] — the byzantine strategy library.
+//! * [`trace`] — structured protocol tracing: typed event records, sinks,
+//!   invariant checking (`ca-trace check`), timeline reports and diffs.
 //! * [`runtime`] — the tokio TCP deployment runtime (same protocol code,
 //!   real sockets).
 //! * [`bits`], [`crypto`], [`erasure`], [`codec`] — value domain, SHA-256 +
@@ -48,3 +50,4 @@ pub use ca_crypto as crypto;
 pub use ca_erasure as erasure;
 pub use ca_net as net;
 pub use ca_runtime as runtime;
+pub use ca_trace as trace;
