@@ -138,6 +138,26 @@ impl Attack {
         }
     }
 
+    /// The message-level adversary strategy this plan installs, with the
+    /// plan's canonical parameters (adaptive interval 3, delayed crash at
+    /// round 10, burst period 4). `None` for plans that need no message
+    /// scripting (honest, crash-silent, lying).
+    ///
+    /// Exposed so harnesses that wrap strategies — e.g. the per-session
+    /// adversary lift in `ca-engine` — construct exactly the adversary that
+    /// [`Attack::install`] would.
+    pub fn strategy(&self) -> Option<Box<dyn ca_net::Adversary>> {
+        match self.kind {
+            AttackKind::None | AttackKind::Crash | AttackKind::Lying(_) => None,
+            AttackKind::Garbage => Some(Box::new(Garbage::new(self.seed))),
+            AttackKind::Replay => Some(Box::new(Replay::new(self.seed))),
+            AttackKind::Equivocate => Some(Box::new(Equivocate::new(self.seed))),
+            AttackKind::Adaptive => Some(Box::new(AdaptiveGarbage::new(self.seed, 3))),
+            AttackKind::DelayedCrash => Some(Box::new(DelayedCrash::new(self.seed, 10))),
+            AttackKind::Burst => Some(Box::new(PeriodicBurst::new(self.seed, 4))),
+        }
+    }
+
     /// Configures a [`Sim`] for this plan: marks corrupted parties and
     /// installs the message-level adversary.
     ///
@@ -145,36 +165,18 @@ impl Attack {
     /// protocol code; the *harness* must feed them distorted inputs
     /// (see [`Attack::lie_for`]).
     pub fn install(&self, sim: Sim, n: usize, t: usize) -> Sim {
-        let victims = self.corrupted_parties(n, t);
-        match self.kind {
-            AttackKind::None => sim,
-            AttackKind::Crash => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted)),
-            AttackKind::Garbage => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
-                .with_adversary(Garbage::new(self.seed)),
-            AttackKind::Replay => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
-                .with_adversary(Replay::new(self.seed)),
-            AttackKind::Equivocate => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
-                .with_adversary(Equivocate::new(self.seed)),
-            AttackKind::Lying(_) => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::LyingHonest)),
-            AttackKind::Adaptive => sim.with_adversary(AdaptiveGarbage::new(self.seed, 3)),
-            AttackKind::DelayedCrash => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
-                .with_adversary(DelayedCrash::new(self.seed, 10)),
-            AttackKind::Burst => victims
-                .into_iter()
-                .fold(sim, |s, p| s.corrupt(p, Corruption::Scripted))
-                .with_adversary(PeriodicBurst::new(self.seed, 4)),
+        let mode = if self.is_lying() {
+            Corruption::LyingHonest
+        } else {
+            Corruption::Scripted
+        };
+        let sim = self
+            .corrupted_parties(n, t)
+            .into_iter()
+            .fold(sim, |s, p| s.corrupt(p, mode));
+        match self.strategy() {
+            Some(adv) => sim.with_adversary(adv),
+            None => sim,
         }
     }
 }

@@ -12,6 +12,7 @@
 //! | `wire-cast`      | silent truncation of decoded values                  |
 //! | `unsafe-audit`   | memory-safety escape hatch in consensus code         |
 //! | `trace-discipline` | ad-hoc stdout/stderr output instead of `ca-trace`  |
+//! | `bounded-channels` | unbounded queue lets a flooding peer exhaust memory |
 
 use crate::diagnostics::{Diagnostic, Severity};
 use crate::lexer::{Token, TokenKind};
@@ -67,6 +68,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "ca-ba",
     "ca-net",
     "ca-runtime",
+    "ca-engine",
 ];
 
 /// Crates whose allocations may be driven by decoded wire lengths.
@@ -86,7 +88,13 @@ const TRACED_CRATES: &[&str] = &[
     "ca-ba",
     "ca-core",
     "ca-runtime",
+    "ca-engine",
 ];
+
+/// Crates whose internal queues must be bounded: the engine's
+/// backpressure guarantees hold only if no channel can grow without
+/// limit under a flooding peer or a stalled consumer.
+const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine"];
 
 /// The full rule registry, in reporting order.
 #[must_use]
@@ -137,6 +145,16 @@ pub fn all_rules() -> &'static [Rule] {
             scope: TRACED_CRATES,
             check_test_code: false,
             check: check_trace_discipline,
+        },
+        Rule {
+            name: "bounded-channels",
+            severity: Severity::Error,
+            description: "no unbounded channel constructors (mpsc::channel, unbounded, \
+                          unbounded_channel) in the engine: every queue must have a fixed \
+                          depth so backpressure, not memory, absorbs overload",
+            scope: BOUNDED_QUEUE_CRATES,
+            check_test_code: false,
+            check: check_bounded_channels,
         },
         Rule {
             name: "unsafe-audit",
@@ -466,6 +484,72 @@ fn check_trace_discipline(
                 ),
                 out,
             );
+        }
+    }
+}
+
+/// Constructor idents that always build an unbounded queue.
+const UNBOUNDED_CTORS: &[&str] = &["unbounded", "unbounded_channel"];
+
+fn check_bounded_channels(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    masked: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if masked[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // A constructor is used when followed by `(` (call) or `::`
+        // (turbofish); a bare mention or a field/binding named like one
+        // (single `:`) is not.
+        let used = {
+            let mut next = tokens[i + 1..].iter().filter(|t| !t.is_comment());
+            match next.next() {
+                Some(n) if n.text == "(" => true,
+                Some(n) if n.text == ":" => next.next().is_some_and(|n2| n2.text == ":"),
+                _ => false,
+            }
+        };
+        if !used {
+            continue;
+        }
+        if UNBOUNDED_CTORS.contains(&tok.text) {
+            diag(
+                "bounded-channels",
+                Severity::Error,
+                ctx,
+                tok.line,
+                format!(
+                    "{}() creates a queue with no depth limit; use a bounded channel \
+                     (sync_channel) sized from EngineConfig so overload sheds instead of \
+                     accumulating",
+                    tok.text
+                ),
+                out,
+            );
+        } else if tok.text == "channel" {
+            // `mpsc::channel` (std or tokio) is the unbounded constructor;
+            // `sync_channel` is the bounded one and stays allowed.
+            let after_mpsc = {
+                let mut prev = tokens[..i].iter().rev().filter(|t| !t.is_comment());
+                prev.next().is_some_and(|p| p.text == ":")
+                    && prev.next().is_some_and(|p| p.text == ":")
+                    && prev.next().is_some_and(|p| p.text == "mpsc")
+            };
+            if after_mpsc {
+                diag(
+                    "bounded-channels",
+                    Severity::Error,
+                    ctx,
+                    tok.line,
+                    "mpsc::channel() is unbounded; use mpsc::sync_channel(depth) with a depth \
+                     derived from EngineConfig"
+                        .to_owned(),
+                    out,
+                );
+            }
         }
     }
 }

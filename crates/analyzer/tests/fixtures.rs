@@ -248,6 +248,53 @@ fn trace_discipline_skips_tests_and_reporting_crates() {
     assert!(run(&runtime_ctx(), test_src).is_empty());
 }
 
+// ---------------------------------------------------------- bounded-channels
+
+fn engine_ctx() -> FileContext<'static> {
+    FileContext {
+        crate_name: "ca-engine",
+        path: "crates/engine/src/driver.rs",
+        is_test_code: false,
+    }
+}
+
+#[test]
+fn bounded_channels_fires_on_mpsc_channel() {
+    let diags = run(
+        &engine_ctx(),
+        "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); let _ = (tx, rx); }\n",
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "bounded-channels");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].message.contains("sync_channel"));
+}
+
+#[test]
+fn bounded_channels_fires_on_unbounded_constructors() {
+    let fired = rules_fired(
+        &engine_ctx(),
+        "fn f() {\n    let a = crossbeam_channel::unbounded::<u8>();\n    let b = mpsc::unbounded_channel();\n    let _ = (a, b);\n}\n",
+    );
+    assert_eq!(fired, vec!["bounded-channels", "bounded-channels"]);
+}
+
+#[test]
+fn bounded_channels_allows_sync_channel() {
+    let src = "fn f(depth: usize) { let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(depth); let _ = (tx, rx); }\n";
+    assert!(run(&engine_ctx(), src).is_empty());
+}
+
+#[test]
+fn bounded_channels_ignores_bare_mentions_and_other_crates() {
+    // A doc-comment or a variable named `channel` is not a constructor
+    // call, and the rule stays scoped to the engine.
+    let src = "// channel of unbounded capacity is the failure mode\nfn f(channel: u32) -> u32 { channel }\n";
+    assert!(run(&engine_ctx(), src).is_empty());
+    let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); let _ = (tx, rx); }\n";
+    assert!(run(&runtime_ctx(), src).is_empty());
+}
+
 // -------------------------------------------------------------- unsafe-audit
 
 #[test]

@@ -49,8 +49,11 @@ fn run_inner(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
         "f4" => f4_ba_ablation(quick),
         "f5" => f5_findprefix(quick),
         "e1" => e1_approx_vs_exact(quick),
+        "s1" => s1_service_throughput(quick, artifacts),
         "all" => {
-            for id in ["t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1"] {
+            for id in [
+                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1",
+            ] {
                 run_by_name_opts(id, quick, artifacts);
             }
         }
@@ -537,6 +540,83 @@ pub fn e1_approx_vs_exact(quick: bool) {
     table.print();
 }
 
+/// **S1** (service layer, beyond the paper) — multiplexing amortization:
+/// `K` CA sessions through one `ca-engine` deployment vs `K` isolated
+/// runs. The per-instance `BITSℓ` payload is identical by construction
+/// (the equivalence tests pin it); what amortizes is everything *around*
+/// the payload — per-round `Eor` markers, per-connection `Hello`/`Bye`,
+/// and per-message `Frame::Msg` framing shared by batched envelopes — so
+/// per-session **wire** bits fall strictly below the `K = 1` cost as `K`
+/// grows.
+pub fn s1_service_throughput(quick: bool, artifacts: Option<&Path>) {
+    use ca_engine::loadgen::{run_load_timed, LoadProfile};
+    use ca_runtime::MonotonicClock;
+
+    let n: usize = if quick { 4 } else { 7 };
+    let ell: usize = if quick { 64 } else { 256 };
+    let mut summary = BenchSummary::new("s1");
+    let mut table = Table::new(
+        &format!("S1: K sessions multiplexed through one engine, n = {n}, ℓ = {ell}"),
+        &[
+            "K",
+            "attack",
+            "sess/s",
+            "rounds",
+            "payload/sess",
+            "wire/sess",
+            "vs K=1",
+            "batch p50",
+            "ok",
+        ],
+    );
+    let clock = MonotonicClock::default();
+    let mut single_wire_per_session = 0u64;
+    for (k, attack) in [
+        (1usize, Attack::none()),
+        (16, Attack::new(AttackKind::Garbage).with_seed(7)),
+        (64, Attack::none()),
+    ] {
+        let mut profile = LoadProfile::closed(n, k, ell);
+        profile.attack = attack;
+        profile.config.max_sessions = k;
+        let report = run_load_timed(&profile, &clock);
+        let decided = report.sessions_decided.max(1);
+        let wire_per_session = report.stats.wire_bits / decided;
+        if k == 1 {
+            single_wire_per_session = wire_per_session;
+        }
+        let label = format!("K={k}");
+        summary.push_throughput(&label, profile.attack.name(), &report);
+        table.row_strings(vec![
+            k.to_string(),
+            profile.attack.name().to_string(),
+            report
+                .sessions_per_sec()
+                .map_or_else(|| "-".to_owned(), |r| format!("{r:.0}")),
+            report.stats.engine_rounds.to_string(),
+            fmt_bits(report.payload_bits / decided),
+            fmt_bits(wire_per_session),
+            format!(
+                "{:.2}x",
+                wire_per_session as f64 / single_wire_per_session.max(1) as f64
+            ),
+            report
+                .stats
+                .batch_occupancy
+                .quantile_permille(500)
+                .to_string(),
+            (report.agreement && report.validity).to_string(),
+        ]);
+    }
+    table.print();
+    if let Some(dir) = artifacts {
+        match summary.write(dir) {
+            Ok(path) => eprintln!("[s1 artifacts: {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_s1.json: {e}"),
+        }
+    }
+}
+
 /// Smoke-level sanity used by `cargo test -p ca-bench`: every experiment
 /// runs in quick mode without panicking.
 pub fn smoke_all() {
@@ -548,6 +628,52 @@ mod tests {
     #[test]
     fn unknown_experiment_rejected() {
         assert!(!super::run_by_name("nope", true));
+    }
+
+    /// The acceptance claim behind S1: per-session wire cost at K = 64
+    /// is strictly below the single-instance cost (i.e. 64 multiplexed
+    /// sessions cost strictly less than 64× one isolated session).
+    #[test]
+    fn s1_amortization_holds() {
+        use ca_engine::loadgen::{run_load, LoadProfile};
+        let single = run_load(&LoadProfile::closed(4, 1, 64));
+        assert!(single.agreement && single.validity);
+        let mut profile = LoadProfile::closed(4, 64, 64);
+        profile.config.max_sessions = 64;
+        let multi = run_load(&profile);
+        assert!(multi.agreement && multi.validity);
+        assert_eq!(multi.sessions_decided, 64);
+        let single_wire = single.stats.wire_bits;
+        let multi_wire_per_session = multi.stats.wire_bits / multi.sessions_decided;
+        assert!(
+            multi_wire_per_session < single_wire,
+            "no amortization: {multi_wire_per_session} >= {single_wire}"
+        );
+        // The payload itself must NOT shrink — multiplexing amortizes
+        // framing and round sync, never the protocol's own bits.
+        assert!(
+            multi.payload_bits / multi.sessions_decided >= single.payload_bits * 9 / 10,
+            "payload should be ~invariant per session"
+        );
+    }
+
+    #[test]
+    fn s1_artifact_has_throughput_fields() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-s1-{}", std::process::id()));
+        assert!(super::run_by_name_opts("s1", true, Some(&dir)));
+        let bench = std::fs::read_to_string(dir.join("BENCH_s1.json")).unwrap();
+        for key in [
+            "\"experiment\": \"s1\"",
+            "\"kind\": \"throughput\"",
+            "\"sessions_per_sec\"",
+            "\"wire_bits_per_session\"",
+            "\"session_latency_rounds\"",
+            "\"batch_occupancy\"",
+            "\"label\": \"K=64\"",
+        ] {
+            assert!(bench.contains(key), "missing {key} in:\n{bench}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

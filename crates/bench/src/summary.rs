@@ -141,6 +141,67 @@ impl BenchSummary {
         });
     }
 
+    /// Appends one service-layer load run (`kind: "throughput"`): session
+    /// throughput, per-session cost, engine-round latency quantiles, and
+    /// the batching profile that explains the amortization.
+    pub fn push_throughput(&mut self, label: &str, attack: &str, report: &ca_engine::LoadReport) {
+        let s = &report.stats;
+        let decided = report.sessions_decided.max(1);
+        let mut json = String::new();
+        json.push_str(&format!(
+            "    {{\n      \"label\": {},\n      \"kind\": \"throughput\",\n      \
+             \"attack\": {},\n",
+            json_string(label),
+            json_string(attack)
+        ));
+        json.push_str(&format!(
+            "      \"runs\": {}, \"sessions_submitted\": {}, \"sessions_decided\": {}, \
+             \"sessions_rejected\": {},\n",
+            report.runs,
+            report.sessions_submitted,
+            report.sessions_decided,
+            report.sessions_rejected
+        ));
+        json.push_str(&format!(
+            "      \"agreement\": {}, \"validity\": {},\n",
+            report.agreement, report.validity
+        ));
+        json.push_str(&format!(
+            "      \"sessions_per_sec\": {},\n",
+            report
+                .sessions_per_sec()
+                .map_or_else(|| "null".to_owned(), |r| format!("{r:.1}"))
+        ));
+        json.push_str(&format!(
+            "      \"engine_rounds\": {}, \"envelopes_sent\": {}, \"frames_sent\": {},\n",
+            s.engine_rounds, s.envelopes_sent, s.frames_sent
+        ));
+        json.push_str(&format!(
+            "      \"payload_bits\": {}, \"wire_bits\": {},\n      \
+             \"payload_bits_per_session\": {}, \"wire_bits_per_session\": {},\n",
+            report.payload_bits,
+            s.wire_bits,
+            report.payload_bits / decided,
+            s.wire_bits / decided
+        ));
+        json.push_str(&format!(
+            "      \"shed_frames\": {}, \"stray_frames\": {}, \"late_frames\": {}, \
+             \"malformed_envelopes\": {},\n",
+            s.shed_frames, s.stray_frames, s.late_frames, s.malformed_envelopes
+        ));
+        json.push_str(&format!(
+            "      \"session_latency_rounds\": {},\n      \"session_rounds\": {},\n      \
+             \"batch_occupancy\": {}\n    }}",
+            hist_json(&s.session_latency_rounds),
+            hist_json(&s.session_rounds),
+            hist_json(&s.batch_occupancy)
+        ));
+        self.runs.push(RunSummary {
+            label: label.to_owned(),
+            json,
+        });
+    }
+
     /// Labels of the runs recorded so far (in insertion order).
     #[must_use]
     pub fn labels(&self) -> Vec<&str> {

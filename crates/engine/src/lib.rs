@@ -1,0 +1,38 @@
+//! # ca-engine — the multi-tenant agreement service
+//!
+//! The paper proves per-instance communication optimality; a production
+//! deployment runs **many** concurrent CA instances over shared
+//! transport, where fixed per-connection and per-round costs amortize
+//! across instances. This crate is that service layer:
+//!
+//! * [`run_engine_party`] — one party's engine: N concurrent sessions,
+//!   each on its own thread against a session-scoped `Comm`, multiplexed
+//!   over any transport (`Sim` or `TcpParty`) via session-tagged
+//!   [`Envelope`]s, with round-batched flushing, bounded per-session
+//!   inboxes, admission control, and graceful drain of decided sessions.
+//! * [`EnvelopeAdversary`] — lifts single-instance `ca-adversary`
+//!   strategies to the envelope layer, so multiplexed-vs-isolated
+//!   equivalence is testable under every attack.
+//! * [`loadgen`] — open-/closed-loop workload driving with per-session
+//!   correctness checking and clock-injected timing.
+//!
+//! Session lifecycle: *submitted* (in the [`SessionPlan`]) → *running*
+//! (admitted into the bounded table) → *decided* (body returned) →
+//! *reaped* (slot freed, output recorded); open-loop arrivals that find
+//! the table full are *rejected*. Traces nest every session's records
+//! under `engine/s<id>/…`, so per-session timelines are recoverable from
+//! one multiplexed run.
+
+mod config;
+mod driver;
+mod envelope;
+mod lift;
+pub mod loadgen;
+mod stats;
+
+pub use config::{ArrivalMode, EngineConfig, SessionPlan, SessionSpec};
+pub use driver::{run_engine_party, EngineOutput, ENGINE_SCOPE};
+pub use envelope::{Envelope, SessionFrame, SessionId};
+pub use lift::EnvelopeAdversary;
+pub use loadgen::{LoadProfile, LoadReport};
+pub use stats::EngineStats;

@@ -97,3 +97,9 @@ where
         self(view)
     }
 }
+
+impl Adversary for Box<dyn Adversary> {
+    fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
+        (**self).on_round(view)
+    }
+}

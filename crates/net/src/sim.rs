@@ -236,7 +236,9 @@ impl Sim {
                             } else {
                                 let _ = submit_tx.send(Submission::Panicked {
                                     from: i,
-                                    info: panic_message(&payload),
+                                    // `as_ref()`: `&payload` would unsize-coerce the Box
+                                    // itself to `&dyn Any` and every downcast would miss.
+                                    info: panic_message(payload.as_ref()),
                                 });
                             }
                         }

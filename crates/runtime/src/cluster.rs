@@ -98,10 +98,36 @@ impl TcpCluster {
                     Ok(party(&mut comm, PartyId(i)))
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("party thread panicked"))
-                .collect()
+            // Join EVERY party thread before surfacing anything: stopping at
+            // the first failure would leak still-running parties past the
+            // scope (blocked on each other's sockets) and drop their
+            // results silently.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let mut outputs = Vec::new();
+            let mut first_err = None;
+            let mut first_panic = None;
+            for res in joined {
+                match res {
+                    Ok(Ok(out)) => outputs.push(out),
+                    Ok(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            Ok(outputs)
         })
     }
 }
@@ -196,6 +222,75 @@ mod tests {
             assert_eq!(ca_trace::check(&records), vec![]);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A panic inside one party propagates with its ORIGINAL payload after
+    /// every other thread has been joined — not masked by a generic
+    /// "party thread panicked" from an unlucky join order.
+    #[test]
+    #[should_panic(expected = "party 1 exploded")]
+    fn party_panic_surfaces_original_payload_after_joining_all() {
+        let _ = TcpCluster::new(3)
+            .with_delta(Duration::from_millis(1000))
+            .run(|ctx, id| {
+                let inbox = ctx.exchange(&(id.index() as u64));
+                assert_eq!(inbox.decode_each::<u64>().len(), 3);
+                if id.index() == 1 {
+                    panic!("party 1 exploded");
+                }
+                // The other parties finish a round without the panicked
+                // peer; Bye/Gone handling keeps them from hanging.
+                ctx.exchange(&1u64);
+            });
+    }
+
+    /// End-to-end version of the frame-length hardening: a raw byzantine
+    /// peer completes the handshake, then announces a ~4 GiB frame. The
+    /// honest party must drop the peer cleanly (no allocation, no panic)
+    /// and keep completing rounds without it.
+    #[test]
+    fn oversized_length_prefix_drops_peer_cleanly() {
+        use std::io::Write as _;
+
+        use ca_codec::Encode as _;
+
+        use crate::Frame;
+
+        let listener = StdTcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr0 = listener.local_addr().unwrap();
+        drop(listener);
+
+        let evil = std::thread::spawn(move || {
+            // Party 1 dials party 0 and handshakes honestly…
+            let mut stream = loop {
+                match std::net::TcpStream::connect(addr0) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            let hello = Frame::Hello { from: 1 }.encode_to_vec();
+            let mut buf = (hello.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(&hello);
+            stream.write_all(&buf).unwrap();
+            // …then claims a 4 GiB frame body is coming.
+            stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+            // Keep the socket open so only the length check can drop us.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+
+        let mut comm = TcpParty::establish(
+            PartyId(0),
+            &[addr0, "127.0.0.1:9".parse().unwrap()],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let inbox = comm.exchange(&7u64);
+        // The oversized claim marked the peer gone; nothing was delivered
+        // from it and the round still completed promptly (well before the
+        // 30 s Δ — the peer is not waited on once dropped).
+        assert!(inbox.raw_from(PartyId(1)).is_empty());
+        assert_eq!(inbox.decode_from::<u64>(PartyId(0)), Some(7));
+        evil.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,51 @@ use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
 /// encoded frame.
 pub const LENGTH_PREFIX_LEN: usize = 4;
 
+/// Hard ceiling on one frame *body* read off the wire: the codec's decode
+/// capacity plus the largest possible framing (tag byte + two maximal
+/// varints). A length prefix above this could never decode into a valid
+/// [`Frame`] anyway, so the transport rejects it before allocating a
+/// receive buffer.
+pub const MAX_WIRE_FRAME_LEN: usize = ca_codec::MAX_DECODE_CAPACITY + 21;
+
+/// A peer announced a frame body longer than [`MAX_WIRE_FRAME_LEN`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The announced body length in bytes.
+    pub claimed: u64,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame length {} exceeds the {MAX_WIRE_FRAME_LEN}-byte wire limit",
+            self.claimed
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Validates an incoming length prefix **before any allocation**.
+///
+/// Readers must call this on the raw prefix and only then size their
+/// receive buffer, so a malicious 4 GiB length claim costs nothing.
+///
+/// # Errors
+///
+/// [`FrameTooLarge`] when the claimed length exceeds
+/// [`MAX_WIRE_FRAME_LEN`].
+pub fn validate_frame_len(len: u32) -> Result<usize, FrameTooLarge> {
+    let len = len as usize;
+    if len > MAX_WIRE_FRAME_LEN {
+        return Err(FrameTooLarge {
+            claimed: len as u64,
+        });
+    }
+    Ok(len)
+}
+
 /// A length-prefixed frame exchanged between two parties.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -155,6 +200,40 @@ mod tests {
             let body = f.encode_to_vec();
             assert_eq!(f.wire_len(), LENGTH_PREFIX_LEN + body.len());
             assert_eq!(f.overhead(), f.wire_len() - f.payload_len());
+        }
+    }
+
+    /// A malicious 4 GiB length prefix must yield a clean error from the
+    /// pre-allocation check — never an OOM-sized buffer or a panic.
+    #[test]
+    fn four_gib_length_prefix_rejected_before_allocation() {
+        let err = validate_frame_len(u32::MAX).unwrap_err();
+        assert_eq!(err.claimed, u64::from(u32::MAX));
+        assert!(err.to_string().contains("exceeds"));
+        // The boundary is exact: the largest decodable body passes, one
+        // byte more is refused.
+        assert_eq!(
+            validate_frame_len(MAX_WIRE_FRAME_LEN as u32),
+            Ok(MAX_WIRE_FRAME_LEN)
+        );
+        assert!(validate_frame_len(MAX_WIRE_FRAME_LEN as u32 + 1).is_err());
+    }
+
+    /// Every well-formed frame the writer can produce passes the length
+    /// validation the reader applies.
+    #[test]
+    fn valid_frames_pass_length_validation() {
+        for f in [
+            Frame::Hello { from: 7 },
+            Frame::Msg {
+                round: 12,
+                payload: vec![0xAB; 4096],
+            },
+            Frame::Eor { round: 3 },
+            Frame::Bye,
+        ] {
+            let body_len = f.encoded_len() as u32;
+            assert_eq!(validate_frame_len(body_len), Ok(body_len as usize));
         }
     }
 

@@ -41,5 +41,5 @@ mod party;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cluster::TcpCluster;
-pub use frame::Frame;
+pub use frame::{validate_frame_len, Frame, FrameTooLarge, LENGTH_PREFIX_LEN, MAX_WIRE_FRAME_LEN};
 pub use party::{RuntimeError, TcpParty};

@@ -167,10 +167,13 @@ impl TcpParty {
                     if read_half.read_exact(&mut len_buf).await.is_err() {
                         break;
                     }
-                    let len = u32::from_be_bytes(len_buf) as usize;
-                    if len > 64 << 20 {
-                        break; // refuse absurd frames
-                    }
+                    // Validate the claimed length BEFORE sizing the buffer:
+                    // a byzantine peer announcing a 4 GiB frame is dropped
+                    // without allocating anything.
+                    let Ok(len) = crate::frame::validate_frame_len(u32::from_be_bytes(len_buf))
+                    else {
+                        break;
+                    };
                     let mut body = vec![0u8; len];
                     if read_half.read_exact(&mut body).await.is_err() {
                         break;

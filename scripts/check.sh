@@ -5,29 +5,32 @@
 #   2. clippy        — generic Rust lints, warnings denied
 #   3. ca-analyzer   — protocol-soundness rules (panic-path, unbounded-alloc,
 #                      nondeterminism, wire-cast, trace-discipline,
-#                      unsafe-audit), --deny mode
+#                      bounded-channels, unsafe-audit), --deny mode
 #   4. cargo test    — unit + property + integration tests, whole workspace
 #   5. trace smoke   — a real traced experiment run must produce artifacts
 #                      that pass `ca-trace check`, plus the observation-only
 #                      guard (tracing leaves Metrics bit-identical)
+#   6. engine smoke  — the multi-tenant service: the S1 throughput
+#                      experiment must emit its BENCH artifact, and the
+#                      closed-loop load generator must sustain real load
 #
 # Everything runs offline: external crates are vendored under shims/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] cargo fmt --check"
+echo "==> [1/6] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/5] cargo clippy (warnings denied)"
+echo "==> [2/6] cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> [3/5] ca-analyzer --deny"
+echo "==> [3/6] ca-analyzer --deny"
 cargo run --offline -q -p ca-analyzer -- --deny
 
-echo "==> [4/5] cargo test (workspace)"
+echo "==> [4/6] cargo test (workspace)"
 cargo test --workspace --offline -q
 
-echo "==> [5/5] trace smoke (artifacts + invariants + NullSink guard)"
+echo "==> [5/6] trace smoke (artifacts + invariants + NullSink guard)"
 artifacts="$(mktemp -d)"
 trap 'rm -rf "$artifacts"' EXIT
 cargo run --offline -q -p ca-bench --bin experiments -- f3 --quick --artifacts "$artifacts" >/dev/null
@@ -38,5 +41,10 @@ cargo run --offline -q -p ca-trace --bin ca-trace -- report "$artifacts/run.json
 # NullSink guard: an instrumented fault-free run reports bit-identical Metrics.
 cargo test --offline -q -p convex-agreement --test trace_invariants \
     tracing_does_not_perturb_metrics >/dev/null
+
+echo "==> [6/6] engine smoke (S1 artifact + closed-loop load)"
+cargo run --offline -q -p ca-bench --bin experiments -- s1 --quick --artifacts "$artifacts" >/dev/null
+test -s "$artifacts/BENCH_s1.json"  || { echo "missing BENCH_s1.json"; exit 1; }
+cargo run --offline -q -p ca-engine --example closed_loop -- 2 >/dev/null
 
 echo "check.sh: all gates passed"

@@ -19,6 +19,9 @@
 //!   invariant checking (`ca-trace check`), timeline reports and diffs.
 //! * [`runtime`] — the tokio TCP deployment runtime (same protocol code,
 //!   real sockets).
+//! * [`engine`] — the multi-tenant agreement service: N concurrent CA
+//!   sessions per party multiplexed over one transport, with admission
+//!   control, backpressure, and a load-generation harness.
 //! * [`bits`], [`crypto`], [`erasure`], [`codec`] — value domain, SHA-256 +
 //!   Merkle accumulators, Reed–Solomon codes, wire codec.
 //!
@@ -47,6 +50,7 @@ pub use ca_bits as bits;
 pub use ca_codec as codec;
 pub use ca_core as core;
 pub use ca_crypto as crypto;
+pub use ca_engine as engine;
 pub use ca_erasure as erasure;
 pub use ca_net as net;
 pub use ca_runtime as runtime;
