@@ -92,9 +92,10 @@ const TRACED_CRATES: &[&str] = &[
 ];
 
 /// Crates whose internal queues must be bounded: the engine's
-/// backpressure guarantees hold only if no channel can grow without
-/// limit under a flooding peer or a stalled consumer.
-const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine"];
+/// backpressure guarantees and the TCP runtime's crash tolerance hold
+/// only if no channel can grow without limit under a flooding peer or a
+/// stalled consumer.
+const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine", "ca-runtime"];
 
 /// The full rule registry, in reporting order.
 #[must_use]
@@ -150,8 +151,8 @@ pub fn all_rules() -> &'static [Rule] {
             name: "bounded-channels",
             severity: Severity::Error,
             description: "no unbounded channel constructors (mpsc::channel, unbounded, \
-                          unbounded_channel) in the engine: every queue must have a fixed \
-                          depth so backpressure, not memory, absorbs overload",
+                          unbounded_channel) in the engine or TCP runtime: every queue must \
+                          have a fixed depth so backpressure, not memory, absorbs overload",
             scope: BOUNDED_QUEUE_CRATES,
             check_test_code: false,
             check: check_bounded_channels,

@@ -288,11 +288,29 @@ fn bounded_channels_allows_sync_channel() {
 #[test]
 fn bounded_channels_ignores_bare_mentions_and_other_crates() {
     // A doc-comment or a variable named `channel` is not a constructor
-    // call, and the rule stays scoped to the engine.
+    // call, and the rule stays scoped to the queue-bearing crates.
     let src = "// channel of unbounded capacity is the failure mode\nfn f(channel: u32) -> u32 { channel }\n";
     assert!(run(&engine_ctx(), src).is_empty());
     let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); let _ = (tx, rx); }\n";
-    assert!(run(&runtime_ctx(), src).is_empty());
+    let bench_ctx = FileContext {
+        crate_name: "ca-bench",
+        path: "crates/bench/src/experiments.rs",
+        is_test_code: false,
+    };
+    assert!(run(&bench_ctx, src).is_empty());
+}
+
+#[test]
+fn bounded_channels_fires_in_the_tcp_runtime() {
+    // The runtime's writer/event queues are its crash-tolerance
+    // mechanism; an unbounded constructor there defeats the shedding
+    // policy just as surely as in the engine.
+    let src = "fn f() { let (tx, rx) = tokio::sync::mpsc::unbounded_channel::<u8>(); let _ = (tx, rx); }\n";
+    let fired = rules_fired(&runtime_ctx(), src);
+    assert_eq!(fired, vec!["bounded-channels"]);
+    let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); let _ = (tx, rx); }\n";
+    let fired = rules_fired(&runtime_ctx(), src);
+    assert_eq!(fired, vec!["bounded-channels"]);
 }
 
 // -------------------------------------------------------------- unsafe-audit

@@ -25,9 +25,9 @@ pub fn run_by_name(name: &str, quick: bool) -> bool {
 }
 
 /// [`run_by_name`] with an optional artifact directory: experiments that
-/// support machine-readable output (currently F3) additionally write a
-/// `run.jsonl` event timeline and a `BENCH_<exp>.json` claim-vs-measured
-/// summary into `artifacts`.
+/// support machine-readable output (F3, S1, R1) additionally write a
+/// `BENCH_<exp>.json` claim-vs-measured summary — and, for F3, a
+/// `run.jsonl` event timeline — into `artifacts`.
 pub fn run_by_name_opts(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
     let started = std::time::Instant::now();
     let ok = run_inner(name, quick, artifacts);
@@ -50,9 +50,10 @@ fn run_inner(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
         "f5" => f5_findprefix(quick),
         "e1" => e1_approx_vs_exact(quick),
         "s1" => s1_service_throughput(quick, artifacts),
+        "r1" => r1_crash_resilience(quick, artifacts),
         "all" => {
             for id in [
-                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1",
+                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1",
             ] {
                 run_by_name_opts(id, quick, artifacts);
             }
@@ -617,6 +618,115 @@ pub fn s1_service_throughput(quick: bool, artifacts: Option<&Path>) {
     }
 }
 
+/// **R1** (runtime resilience, beyond the paper) — crash-fault tolerance
+/// of the TCP runtime: an n = 4 cluster runs a fixed-schedule iterated
+/// midpoint over real sockets, once fault-free and once with `t = 1`
+/// party crashed mid-protocol via a scripted [`ca_runtime::FaultPlan`].
+/// The survivors must still agree on a value inside the honest input
+/// hull, in the same number of rounds; the crashed run additionally
+/// shows what the outage costs on the wire (fewer frames, `peers_gone`
+/// observations). A frozen [`ca_runtime::ManualClock`] keeps both runs
+/// off the `Δ`-timeout path, so the byte counts are reproducible.
+pub fn r1_crash_resilience(quick: bool, artifacts: Option<&Path>) {
+    use ca_net::{Comm, CommExt, PartyId};
+    use ca_runtime::{Clock, FaultPlan, ManualClock, TcpCluster};
+
+    let n: usize = 4;
+    let t = ca_net::max_faults(n);
+    let rounds: u64 = if quick { 6 } else { 12 };
+    let crash_round: u64 = 3;
+    let inputs: [u64; 4] = [10, 40, 20, 30];
+
+    let run = |crashed: usize| {
+        let mut cluster = TcpCluster::new(n)
+            // Huge Δ: with frozen clocks the timeout path never fires, so
+            // rounds end on markers/EOFs alone and byte counts reproduce.
+            .with_delta(std::time::Duration::from_secs(3600))
+            .with_clock_factory(|_| -> Box<dyn Clock> { Box::new(ManualClock::new()) });
+        for p in 0..crashed {
+            cluster = cluster.with_fault_plan(n - 1 - p, FaultPlan::new().crash_at(crash_round));
+        }
+        cluster.run_report(move |ctx: &mut dyn Comm, id: PartyId| {
+            let mut v = inputs[id.index()];
+            for _ in 0..rounds {
+                let inbox = ctx.exchange(&v);
+                let vals: Vec<u64> = inbox
+                    .decode_each::<u64>()
+                    .into_iter()
+                    .map(|(_, x)| x)
+                    .collect();
+                if let (Some(&min), Some(&max)) = (vals.iter().min(), vals.iter().max()) {
+                    v = min + (max - min) / 2;
+                }
+            }
+            v
+        })
+    };
+
+    let mut summary = BenchSummary::new("r1");
+    let mut table = Table::new(
+        &format!(
+            "R1: crash resilience over TCP, n = {n}, {rounds} rounds, crash at round {crash_round}"
+        ),
+        &[
+            "crashed",
+            "rounds",
+            "agree",
+            "convex",
+            "frames",
+            "wire bytes",
+            "shed",
+            "gone",
+        ],
+    );
+    for crashed in [0usize, t] {
+        let report = match run(crashed) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("warning: r1 cluster run failed: {e}");
+                return;
+            }
+        };
+        let honest: Vec<u64> = (0..n - crashed).map(|i| report.outputs[i]).collect();
+        let agreement = honest.windows(2).all(|w| w[0] == w[1]);
+        let (lo, hi) = inputs[..n - crashed]
+            .iter()
+            .fold((u64::MAX, 0), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let validity = honest.iter().all(|&v| (lo..=hi).contains(&v));
+        let rounds_to_decide = report.rounds.iter().copied().max().unwrap_or(0);
+        let frames: u64 = report.stats.iter().map(|s| s.frames_sent).sum();
+        let wire: u64 = report.stats.iter().map(|s| s.wire_bytes_sent).sum();
+        let shed: u64 = report.stats.iter().map(|s| s.frames_shed).sum();
+        let gone = report.stats.iter().map(|s| s.peers_gone).max().unwrap_or(0);
+        let label = format!("{crashed} crashed");
+        summary.push_resilience(
+            &label,
+            crashed,
+            rounds_to_decide,
+            agreement,
+            validity,
+            &report.stats,
+        );
+        table.row_strings(vec![
+            crashed.to_string(),
+            rounds_to_decide.to_string(),
+            agreement.to_string(),
+            validity.to_string(),
+            frames.to_string(),
+            wire.to_string(),
+            shed.to_string(),
+            gone.to_string(),
+        ]);
+    }
+    table.print();
+    if let Some(dir) = artifacts {
+        match summary.write(dir) {
+            Ok(path) => eprintln!("[r1 artifacts: {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_r1.json: {e}"),
+        }
+    }
+}
+
 /// Smoke-level sanity used by `cargo test -p ca-bench`: every experiment
 /// runs in quick mode without panicking.
 pub fn smoke_all() {
@@ -670,6 +780,27 @@ mod tests {
             "\"session_latency_rounds\"",
             "\"batch_occupancy\"",
             "\"label\": \"K=64\"",
+        ] {
+            assert!(bench.contains(key), "missing {key} in:\n{bench}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn r1_artifact_has_resilience_fields() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-r1-{}", std::process::id()));
+        assert!(super::run_by_name_opts("r1", true, Some(&dir)));
+        let bench = std::fs::read_to_string(dir.join("BENCH_r1.json")).unwrap();
+        for key in [
+            "\"experiment\": \"r1\"",
+            "\"kind\": \"resilience\"",
+            "\"label\": \"0 crashed\"",
+            "\"label\": \"1 crashed\"",
+            "\"rounds_to_decide\"",
+            "\"agreement\": true",
+            "\"validity\": true",
+            "\"wire_bytes_sent\"",
+            "\"peers_gone\": 1",
         ] {
             assert!(bench.contains(key), "missing {key} in:\n{bench}");
         }

@@ -202,6 +202,61 @@ impl BenchSummary {
         });
     }
 
+    /// Appends one crash-fault resilience run (`kind: "resilience"`):
+    /// how many parties were crashed, how many transport rounds the
+    /// survivors needed to decide, whether the decision was correct, and
+    /// the aggregated [`ca_runtime::RuntimeStats`] across parties —
+    /// counters sum, `peers_gone` takes the per-party peak (the number to
+    /// compare against the `t < n/3` budget).
+    pub fn push_resilience(
+        &mut self,
+        label: &str,
+        crashed: usize,
+        rounds_to_decide: u64,
+        agreement: bool,
+        validity: bool,
+        party_stats: &[ca_runtime::RuntimeStats],
+    ) {
+        let sum =
+            |f: fn(&ca_runtime::RuntimeStats) -> u64| -> u64 { party_stats.iter().map(f).sum() };
+        let peers_gone = party_stats.iter().map(|s| s.peers_gone).max().unwrap_or(0);
+        let mut json = String::new();
+        json.push_str(&format!(
+            "    {{\n      \"label\": {},\n      \"kind\": \"resilience\",\n",
+            json_string(label)
+        ));
+        json.push_str(&format!(
+            "      \"n\": {}, \"crashed_parties\": {crashed}, \
+             \"rounds_to_decide\": {rounds_to_decide},\n",
+            party_stats.len()
+        ));
+        json.push_str(&format!(
+            "      \"agreement\": {agreement}, \"validity\": {validity},\n"
+        ));
+        json.push_str(&format!(
+            "      \"frames_sent\": {}, \"wire_bytes_sent\": {},\n",
+            sum(|s| s.frames_sent),
+            sum(|s| s.wire_bytes_sent)
+        ));
+        json.push_str(&format!(
+            "      \"frames_shed\": {}, \"events_shed\": {}, \
+             \"overflow_disconnects\": {},\n",
+            sum(|s| s.frames_shed),
+            sum(|s| s.events_shed),
+            sum(|s| s.overflow_disconnects)
+        ));
+        json.push_str(&format!(
+            "      \"handshake_rejects\": {}, \"dial_retries\": {}, \
+             \"peers_gone\": {peers_gone}\n    }}",
+            sum(|s| s.handshake_rejects),
+            sum(|s| s.dial_retries)
+        ));
+        self.runs.push(RunSummary {
+            label: label.to_owned(),
+            json,
+        });
+    }
+
     /// Labels of the runs recorded so far (in insertion order).
     #[must_use]
     pub fn labels(&self) -> Vec<&str> {
@@ -335,6 +390,38 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"f3\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilience_run_aggregates_stats() {
+        let a = ca_runtime::RuntimeStats {
+            frames_sent: 10,
+            wire_bytes_sent: 100,
+            peers_gone: 1,
+            ..Default::default()
+        };
+        let b = ca_runtime::RuntimeStats {
+            frames_sent: 5,
+            dial_retries: 3,
+            peers_gone: 1,
+            ..Default::default()
+        };
+        let mut s = BenchSummary::new("r1");
+        s.push_resilience("t crashed", 1, 6, true, true, &[a, b]);
+        let json = s.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"kind\": \"resilience\"",
+            "\"n\": 2",
+            "\"crashed_parties\": 1",
+            "\"rounds_to_decide\": 6",
+            "\"frames_sent\": 15",
+            "\"wire_bytes_sent\": 100",
+            "\"dial_retries\": 3",
+            "\"peers_gone\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
     }
 
     #[test]

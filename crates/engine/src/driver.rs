@@ -417,6 +417,7 @@ where
                 }
                 // Open-loop idle gap: next arrival is in the future.
                 let _ = ctx.next_round();
+                stats.peers_gone = stats.peers_gone.max(ctx.silent_parties().len() as u64);
                 stats.wire_bits += round_sync_bits(n, engine_round);
                 stats.engine_rounds += 1;
                 engine_round += 1;
@@ -519,6 +520,7 @@ where
 
             // ---- 5. Advance the shared transport round ----
             let inbox = ctx.next_round();
+            stats.peers_gone = stats.peers_gone.max(ctx.silent_parties().len() as u64);
             stats.wire_bits += round_sync_bits(n, engine_round);
             stats.engine_rounds += 1;
             engine_round += 1;
@@ -672,6 +674,73 @@ mod tests {
         // All parties agree per session.
         for w in outputs.windows(2) {
             assert_eq!(w[0].decided, w[1].decided);
+        }
+    }
+
+    /// Transport shim that mimics a peer crashing partway through: it
+    /// delegates to the real simulator transport but reports the last
+    /// party silent from a given round on. Only the *accounting* is
+    /// faked — which is exactly the seam the engine samples.
+    struct SilentAfter<'a> {
+        inner: &'a mut dyn Comm,
+        rounds_seen: u64,
+        silent_from: u64,
+    }
+
+    impl Comm for SilentAfter<'_> {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn t(&self) -> usize {
+            self.inner.t()
+        }
+        fn me(&self) -> PartyId {
+            self.inner.me()
+        }
+        fn send_bytes(&mut self, to: PartyId, payload: bytes::Bytes) {
+            self.inner.send_bytes(to, payload);
+        }
+        fn next_round(&mut self) -> Inbox {
+            self.rounds_seen += 1;
+            self.inner.next_round()
+        }
+        fn push_scope(&mut self, name: &str) {
+            self.inner.push_scope(name);
+        }
+        fn pop_scope(&mut self) {
+            self.inner.pop_scope();
+        }
+        fn silent_parties(&self) -> Vec<PartyId> {
+            if self.rounds_seen >= self.silent_from {
+                vec![PartyId(self.n() - 1)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// The engine samples `Comm::silent_parties` after every transport
+    /// round and records the peak in `EngineStats::peers_gone`.
+    #[test]
+    fn engine_records_peak_silent_peers() {
+        let n = 4;
+        let plan = SessionPlan::closed(2);
+        let config = EngineConfig::default();
+        let report = Sim::new(n).run(|ctx, _id| {
+            let mut ctx = SilentAfter {
+                inner: ctx,
+                rounds_seen: 0,
+                silent_from: 2,
+            };
+            run_engine_party(&mut ctx, &plan, &config, |sctx, _sid| {
+                for _ in 0..3u64 {
+                    let _ = sctx.exchange(&1u64);
+                }
+                0u64
+            })
+        });
+        for out in report.honest_outputs() {
+            assert_eq!(out.stats.peers_gone, 1, "{:?}", out.stats);
         }
     }
 

@@ -48,6 +48,12 @@ pub struct EngineStats {
     pub late_frames: u64,
     /// Incoming transport messages that failed to decode as envelopes.
     pub malformed_envelopes: u64,
+    /// Peak number of peers the transport reported silent (crashed or
+    /// cut off) at any sampled round. A peak, not a sum: merged with
+    /// `max` in [`EngineStats::absorb`] so aggregating parties or runs
+    /// reports the worst outage seen, which is the number to compare
+    /// against the `t < n/3` budget.
+    pub peers_gone: u64,
 }
 
 impl EngineStats {
@@ -80,6 +86,7 @@ impl EngineStats {
         self.stray_frames += other.stray_frames;
         self.late_frames += other.late_frames;
         self.malformed_envelopes += other.malformed_envelopes;
+        self.peers_gone = self.peers_gone.max(other.peers_gone);
     }
 }
 
@@ -102,8 +109,11 @@ mod tests {
         b.batch_occupancy.record(8);
         b.payload_bits.insert(1, 50);
         b.payload_bits.insert(2, 7);
+        a.peers_gone = 2;
+        b.peers_gone = 1;
         a.absorb(&b);
         assert_eq!(a.wire_bits, 15);
+        assert_eq!(a.peers_gone, 2, "peers_gone is a peak, not a sum");
         assert_eq!(a.batch_occupancy.count(), 2);
         assert_eq!(a.payload_bits[&1], 150);
         assert_eq!(a.payload_bits[&2], 7);

@@ -45,6 +45,17 @@ pub trait Comm {
     /// Leaves the innermost metrics scope.
     fn pop_scope(&mut self);
 
+    /// Parties this transport has stopped hearing from: their stream
+    /// ended or the transport cut them off (queue overflow). The
+    /// protocol model already treats such peers as silent-byzantine —
+    /// `next_round` simply never again delivers from them — so protocol
+    /// code needs no special handling; this accessor exists for
+    /// *accounting* (service stats, experiments). Transports without a
+    /// liveness notion (the simulator) report no one.
+    fn silent_parties(&self) -> Vec<PartyId> {
+        Vec::new()
+    }
+
     /// Whether a trace sink is attached and recording. Instrumentation
     /// sites check this before rendering event values, so transports
     /// without tracing (the default) pay one virtual call and nothing

@@ -50,8 +50,17 @@ impl Decode for Tagged {
 }
 
 enum ToParent {
-    Round { sends: Vec<(PartyId, Bytes)> },
-    Done { sends: Vec<(PartyId, Bytes)> },
+    Round {
+        sends: Vec<(PartyId, Bytes)>,
+    },
+    Done {
+        sends: Vec<(PartyId, Bytes)>,
+    },
+    /// The instance's body panicked: it will contribute nothing further.
+    /// Without this message the parent would wait forever for a Round
+    /// submission that never comes; the payload itself is re-raised from
+    /// the thread handle and propagated after every instance is joined.
+    Panicked,
 }
 
 /// The per-instance `Comm` handed to sub-protocol closures.
@@ -157,12 +166,22 @@ where
                     from_parent: inbox_rx,
                     index,
                 };
-                let out = body(&mut sub, index);
-                // Sign off, flushing any trailing sends in the same message
-                // so the parent's cycle accounting stays deterministic.
-                let sends = std::mem::take(&mut sub.pending);
-                let _ = to_parent.send((index, ToParent::Done { sends }));
-                out
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(&mut sub, index)
+                })) {
+                    Ok(out) => {
+                        // Sign off, flushing any trailing sends in the same
+                        // message so the parent's cycle accounting stays
+                        // deterministic.
+                        let sends = std::mem::take(&mut sub.pending);
+                        let _ = to_parent.send((index, ToParent::Done { sends }));
+                        out
+                    }
+                    Err(payload) => {
+                        let _ = to_parent.send((index, ToParent::Panicked));
+                        std::panic::resume_unwind(payload);
+                    }
+                }
             }));
         }
         drop(to_parent_tx);
@@ -185,6 +204,10 @@ where
                     }
                     ToParent::Done { sends } => {
                         round_sends.push((index as u32, sends));
+                        live[index] = false;
+                        waiting[index] = false;
+                    }
+                    ToParent::Panicked => {
                         live[index] = false;
                         waiting[index] = false;
                     }
@@ -229,11 +252,28 @@ where
             }
         }
 
-        handles
-            .into_iter()
-            // ca-lint: allow(panic-path) — propagating a child-thread panic in the test executor
-            .map(|h| h.join().expect("instance panicked"))
-            .collect()
+        // Join EVERY instance before surfacing a panic (the TcpCluster
+        // join discipline): stopping at the first failure would drop the
+        // surviving instances' results and could leave them blocked.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        let mut outputs = Vec::with_capacity(k);
+        let mut first_panic = None;
+        for res in joined {
+            match res {
+                Ok(out) => outputs.push(out),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            // Re-raise the ORIGINAL payload so callers see the real
+            // failure, not a generic "instance panicked".
+            std::panic::resume_unwind(payload);
+        }
+        outputs
     })
 }
 
@@ -311,5 +351,56 @@ mod tests {
     #[should_panic(expected = "panicked")]
     fn zero_instances_rejected() {
         Sim::new(2).run(|ctx, _| run_parallel(ctx, 0, |_, _| ()));
+    }
+
+    /// Single-party transport that just reflects sends back, so the panic
+    /// path can be exercised without the simulator re-wrapping payloads.
+    struct Loopback {
+        pending: Vec<Bytes>,
+    }
+
+    impl Comm for Loopback {
+        fn n(&self) -> usize {
+            1
+        }
+        fn t(&self) -> usize {
+            0
+        }
+        fn me(&self) -> PartyId {
+            PartyId(0)
+        }
+        fn send_bytes(&mut self, _to: PartyId, payload: Bytes) {
+            self.pending.push(payload);
+        }
+        fn next_round(&mut self) -> Inbox {
+            let mut inbox = Inbox::with_parties(1);
+            for payload in self.pending.drain(..) {
+                inbox.push(PartyId(0), payload);
+            }
+            inbox
+        }
+        fn push_scope(&mut self, _name: &str) {}
+        fn pop_scope(&mut self) {}
+    }
+
+    /// An instance that panics mid-protocol — after a round in which a
+    /// sibling already finished — must not deadlock the parent (which
+    /// would otherwise wait forever for the dead instance's submission)
+    /// and must surface its ORIGINAL panic payload after all instances
+    /// are joined.
+    #[test]
+    #[should_panic(expected = "instance 1 exploded")]
+    fn instance_panic_propagates_original_payload() {
+        let mut ctx = Loopback {
+            pending: Vec::new(),
+        };
+        run_parallel(&mut ctx, 2, |sub, idx| {
+            if idx == 1 {
+                let _ = sub.exchange(&1u64);
+                panic!("instance 1 exploded");
+            }
+            // Instance 0 finishes immediately; only instance 1 is live
+            // when the panic happens.
+        });
     }
 }

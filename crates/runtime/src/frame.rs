@@ -27,6 +27,12 @@ pub const LENGTH_PREFIX_LEN: usize = 4;
 /// receive buffer.
 pub const MAX_WIRE_FRAME_LEN: usize = ca_codec::MAX_DECODE_CAPACITY + 21;
 
+/// Ceiling on a handshake (`Hello`) frame *body*, enforced by the accept
+/// side before any allocation. A well-formed hello is a tag byte plus a
+/// `u32` varint (at most 6 bytes); anything claiming more is a stray or
+/// hostile connection and is dropped without consuming an accept slot.
+pub const MAX_HELLO_FRAME_LEN: usize = 16;
+
 /// A peer announced a frame body longer than [`MAX_WIRE_FRAME_LEN`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameTooLarge {

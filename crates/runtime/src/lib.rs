@@ -36,10 +36,17 @@
 
 mod clock;
 mod cluster;
+mod fault;
 mod frame;
 mod party;
+mod stats;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use cluster::TcpCluster;
-pub use frame::{validate_frame_len, Frame, FrameTooLarge, LENGTH_PREFIX_LEN, MAX_WIRE_FRAME_LEN};
-pub use party::{RuntimeError, TcpParty};
+pub use cluster::{ClusterReport, TcpCluster};
+pub use fault::FaultPlan;
+pub use frame::{
+    validate_frame_len, Frame, FrameTooLarge, LENGTH_PREFIX_LEN, MAX_HELLO_FRAME_LEN,
+    MAX_WIRE_FRAME_LEN,
+};
+pub use party::{EstablishOpts, RuntimeError, TcpParty};
+pub use stats::RuntimeStats;

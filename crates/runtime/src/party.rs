@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc as std_mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,22 +18,32 @@ use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc as tokio_mpsc;
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::Frame;
+use crate::stats::{RuntimeStats, StatsInner};
+use crate::{FaultPlan, Frame};
 
 /// Errors from establishing or running a TCP party.
 #[derive(Debug)]
 pub enum RuntimeError {
     /// Socket-level failure during setup.
     Io(std::io::Error),
-    /// A peer handshake was malformed.
-    BadHandshake,
+    /// The clique could not be completed within
+    /// [`EstablishOpts::deadline`].
+    EstablishTimeout {
+        /// Peers still unconnected when the deadline fired.
+        missing: Vec<usize>,
+    },
 }
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Io(e) => write!(f, "io error: {e}"),
-            RuntimeError::BadHandshake => write!(f, "malformed peer handshake"),
+            RuntimeError::EstablishTimeout { missing } => {
+                write!(
+                    f,
+                    "clique establishment timed out; missing peers {missing:?}"
+                )
+            }
         }
     }
 }
@@ -44,6 +55,48 @@ impl From<std::io::Error> for RuntimeError {
         RuntimeError::Io(e)
     }
 }
+
+/// Knobs for clique establishment and transport queue bounds.
+///
+/// The defaults suit localhost clusters and tests; deployments across
+/// real networks should raise [`EstablishOpts::deadline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstablishOpts {
+    /// Overall budget for establishing the full clique, measured on the
+    /// injected [`Clock`]. Under a [`ManualClock`](crate::ManualClock)
+    /// that never advances, establishment never times out.
+    pub deadline: Duration,
+    /// First dial-retry backoff; doubles per retry up to
+    /// [`EstablishOpts::max_backoff`].
+    pub initial_backoff: Duration,
+    /// Ceiling on the dial-retry backoff.
+    pub max_backoff: Duration,
+    /// Capacity of each peer's outbound writer queue, in frames. A full
+    /// queue means the peer cannot keep up with the synchronous schedule;
+    /// the frame is shed and the peer disconnected (it was already
+    /// violating the model).
+    pub writer_queue_frames: usize,
+    /// Capacity of the inbound event queue shared by all reader tasks.
+    /// Protocol messages beyond it are shed; liveness events (end-of-round
+    /// markers, disconnects) always get through.
+    pub event_queue_depth: usize,
+}
+
+impl Default for EstablishOpts {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(10),
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(320),
+            writer_queue_frames: 1024,
+            event_queue_depth: 4096,
+        }
+    }
+}
+
+/// Cap on any single blocking socket wait during establishment, so the
+/// deadline is re-checked at least this often.
+const ESTABLISH_POLL: Duration = Duration::from_millis(250);
 
 /// Events flowing from the socket tasks to the protocol thread.
 #[derive(Debug)]
@@ -57,10 +110,33 @@ enum Event {
         from: usize,
         round: u64,
     },
-    /// Peer said goodbye or its stream closed.
+    /// Peer will send nothing more. `graceful` distinguishes a deliberate
+    /// `Bye` (normal end of run — not an outage, not counted in
+    /// [`RuntimeStats::peers_gone`]) from an EOF or undecodable frame
+    /// (crash/misbehaviour — counted and traced as `PeerGone`).
     Gone {
         from: usize,
+        graceful: bool,
     },
+}
+
+/// What a writer task puts on the wire.
+#[derive(Debug)]
+enum WriterItem {
+    /// A well-formed frame: encoded and length-prefixed by the writer.
+    Frame(Frame),
+    /// Pre-framed raw bytes, used by fault injection to emit garbage
+    /// that no honest writer would produce.
+    Raw(Vec<u8>),
+}
+
+impl WriterItem {
+    fn wire_len(&self) -> u64 {
+        match self {
+            WriterItem::Frame(f) => f.wire_len() as u64,
+            WriterItem::Raw(buf) => buf.len() as u64,
+        }
+    }
 }
 
 /// A fully connected TCP party implementing [`Comm`].
@@ -69,6 +145,19 @@ enum Event {
 /// protocol code. Round semantics: `next_round` flushes sends tagged with
 /// the current round plus an end-of-round marker, then waits until every
 /// live peer's marker arrives or `Δ` elapses.
+///
+/// # Crash tolerance
+///
+/// Peers whose stream ends abnormally (EOF without `Bye`, decode
+/// failure) or whose bounded writer queue overflows are marked *gone*:
+/// `next_round` never waits on them again and never again delivers from
+/// them — from the protocol's view they are silent-byzantine, which the
+/// model already tolerates for up to `t` parties. A deliberate `Bye`
+/// (normal end of run) also stops the waiting but is not an outage: it
+/// bumps no stat and traces no `PeerGone`, so fault-free runs report
+/// zero gone peers however the final round's shutdowns interleave.
+/// [`TcpParty::set_fault_plan`] scripts this party's own misbehavior for
+/// tests; [`TcpParty::stats`] exposes what the transport absorbed.
 pub struct TcpParty {
     n: usize,
     t: usize,
@@ -77,9 +166,10 @@ pub struct TcpParty {
     round: u64,
     pending: Vec<(PartyId, Bytes)>,
     scopes: Vec<String>,
-    /// Sends frames to the per-peer writer tasks.
-    writers: Vec<Option<tokio_mpsc::UnboundedSender<Frame>>>,
-    /// Inbound events from all reader tasks.
+    /// Sends frames to the per-peer writer tasks (bounded queues).
+    writers: Vec<Option<tokio_mpsc::Sender<WriterItem>>>,
+    /// Inbound events from all reader tasks (bounded; see
+    /// [`EstablishOpts::event_queue_depth`]).
     events: std_mpsc::Receiver<Event>,
     /// Messages received for rounds we have not reached yet.
     future_msgs: BTreeMap<u64, Vec<(usize, Bytes)>>,
@@ -87,8 +177,14 @@ pub struct TcpParty {
     clock: Box<dyn Clock>,
     /// Highest EOR round seen per peer.
     eor: Vec<u64>,
-    /// Peers whose stream ended.
+    /// Peers whose stream ended or who were cut off.
     gone: Vec<bool>,
+    /// Scripted misbehavior for this party (empty by default).
+    fault: FaultPlan,
+    /// Set once the fault plan's crash round is reached.
+    crashed: bool,
+    /// Transport counters shared with the socket tasks.
+    stats: Arc<StatsInner>,
     /// Trace destination ([`NullSink`] unless [`TcpParty::set_trace`]).
     sink: Arc<dyn TraceSink>,
     /// Observed `next_round` barrier latency in microseconds (measured
@@ -102,18 +198,25 @@ pub struct TcpParty {
 impl TcpParty {
     /// Binds `addrs[me]`, connects to all peers, and returns a ready
     /// transport. Every party must call this with the same address list;
-    /// the function blocks until the clique is established.
+    /// the function blocks until the clique is established or the
+    /// default [`EstablishOpts::deadline`] expires.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError`] if sockets cannot be bound/connected or a peer
-    /// handshake is malformed.
+    /// [`RuntimeError::Io`] if sockets cannot be bound,
+    /// [`RuntimeError::EstablishTimeout`] if some peer never came up.
     pub fn establish(
         me: PartyId,
         addrs: &[SocketAddr],
         delta: Duration,
     ) -> Result<Self, RuntimeError> {
-        Self::establish_with_clock(me, addrs, delta, Box::new(MonotonicClock::default()))
+        Self::establish_with(
+            me,
+            addrs,
+            delta,
+            &EstablishOpts::default(),
+            Box::new(MonotonicClock::default()),
+        )
     }
 
     /// [`TcpParty::establish`] with an explicit time source, so tests can
@@ -121,37 +224,62 @@ impl TcpParty {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError`] if sockets cannot be bound/connected or a peer
-    /// handshake is malformed.
+    /// As for [`TcpParty::establish`].
     pub fn establish_with_clock(
         me: PartyId,
         addrs: &[SocketAddr],
         delta: Duration,
         clock: Box<dyn Clock>,
     ) -> Result<Self, RuntimeError> {
+        Self::establish_with(me, addrs, delta, &EstablishOpts::default(), clock)
+    }
+
+    /// [`TcpParty::establish`] with explicit establishment options and
+    /// time source.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpParty::establish`].
+    pub fn establish_with(
+        me: PartyId,
+        addrs: &[SocketAddr],
+        delta: Duration,
+        opts: &EstablishOpts,
+        clock: Box<dyn Clock>,
+    ) -> Result<Self, RuntimeError> {
         let n = addrs.len();
         let t = ca_net::max_faults(n);
+        let stats = Arc::new(StatsInner::default());
         let runtime = tokio::runtime::Builder::new_multi_thread()
             .worker_threads(2)
             .enable_all()
             .build()?;
-        let (event_tx, event_rx) = std_mpsc::channel::<Event>();
+        let (event_tx, event_rx) = std_mpsc::sync_channel::<Event>(opts.event_queue_depth);
 
-        let streams = runtime.block_on(establish_clique(me, addrs))?;
+        let streams = runtime.block_on(establish_clique(me, addrs, opts, &*clock, &stats))?;
 
-        let mut writers: Vec<Option<tokio_mpsc::UnboundedSender<Frame>>> =
+        let mut writers: Vec<Option<tokio_mpsc::Sender<WriterItem>>> =
             (0..n).map(|_| None).collect();
         for (peer, stream) in streams {
             let (mut read_half, mut write_half) = stream.into_split();
-            let (tx, mut rx) = tokio_mpsc::unbounded_channel::<Frame>();
+            let (tx, mut rx) = tokio_mpsc::channel::<WriterItem>(opts.writer_queue_frames);
             writers[peer] = Some(tx);
 
             // Writer task: frame + length-prefix every outgoing message.
+            // When the sender side is dropped (normal exit or injected
+            // crash) the queue drains FIFO, then the write side shuts
+            // down — peers observe EOF only after in-flight frames land.
             runtime.spawn(async move {
-                while let Some(frame) = rx.recv().await {
-                    let body = frame.encode_to_vec();
-                    let mut buf = (body.len() as u32).to_be_bytes().to_vec();
-                    buf.extend_from_slice(&body);
+                while let Some(item) = rx.recv().await {
+                    let buf = match item {
+                        WriterItem::Frame(frame) => {
+                            let body = frame.encode_to_vec();
+                            let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+                            buf.extend_from_slice(&body);
+                            buf
+                        }
+                        WriterItem::Raw(buf) => buf,
+                    };
                     if write_half.write_all(&buf).await.is_err() {
                         break;
                     }
@@ -159,9 +287,13 @@ impl TcpParty {
                 let _ = write_half.shutdown().await;
             });
 
-            // Reader task: decode frames, forward as events.
+            // Reader task: decode frames, forward as events. Protocol
+            // messages are shed if the event queue is full; liveness
+            // events (Eor/Gone) block instead so they are never lost.
             let event_tx = event_tx.clone();
+            let stats = Arc::clone(&stats);
             runtime.spawn(async move {
+                let mut graceful = false;
                 loop {
                     let mut len_buf = [0u8; 4];
                     if read_half.read_exact(&mut len_buf).await.is_err() {
@@ -178,21 +310,37 @@ impl TcpParty {
                     if read_half.read_exact(&mut body).await.is_err() {
                         break;
                     }
-                    let event = match Frame::decode_from_slice(&body) {
-                        Ok(Frame::Msg { round, payload }) => Event::Msg {
-                            from: peer,
-                            round,
-                            payload: Bytes::from(payload),
-                        },
-                        Ok(Frame::Eor { round }) => Event::Eor { from: peer, round },
-                        Ok(Frame::Bye) | Err(_) => break,
+                    match Frame::decode_from_slice(&body) {
+                        Ok(Frame::Msg { round, payload }) => {
+                            match event_tx.try_send(Event::Msg {
+                                from: peer,
+                                round,
+                                payload: Bytes::from(payload),
+                            }) {
+                                Ok(()) => {}
+                                Err(std_mpsc::TrySendError::Full(_)) => {
+                                    stats.events_shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(std_mpsc::TrySendError::Disconnected(_)) => break,
+                            }
+                        }
+                        Ok(Frame::Eor { round }) => {
+                            if event_tx.send(Event::Eor { from: peer, round }).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(Frame::Bye) => {
+                            graceful = true;
+                            break;
+                        }
+                        Err(_) => break,
                         Ok(Frame::Hello { .. }) => continue,
-                    };
-                    if event_tx.send(event).is_err() {
-                        break;
                     }
                 }
-                let _ = event_tx.send(Event::Gone { from: peer });
+                let _ = event_tx.send(Event::Gone {
+                    from: peer,
+                    graceful,
+                });
             });
         }
 
@@ -214,6 +362,9 @@ impl TcpParty {
                 g[me.index()] = true; // never wait on ourselves
                 g
             },
+            fault: FaultPlan::default(),
+            crashed: false,
+            stats,
             sink: Arc::new(NullSink),
             round_latency_us: Histogram::new(),
             _runtime: runtime,
@@ -226,6 +377,25 @@ impl TcpParty {
     /// `TcpCluster::with_trace_dir`).
     pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
         self.sink = sink;
+    }
+
+    /// Installs a scripted fault schedule for this party (tests and
+    /// chaos experiments). Takes effect from the next round.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Snapshot of this party's transport counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats.snapshot()
+    }
+
+    /// Rounds completed so far (the round number of the last
+    /// `next_round` call).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// Barrier latency observed by this party's `next_round` calls, in
@@ -254,6 +424,65 @@ impl TcpParty {
             event,
         });
     }
+
+    /// Marks `peer` silent-byzantine (idempotent), bumping the stat and
+    /// tracing the observation.
+    fn mark_gone(&mut self, peer: usize, reason: &str) {
+        if peer == self.me.index() || self.gone[peer] {
+            return;
+        }
+        self.gone[peer] = true;
+        self.stats.peers_gone.fetch_add(1, Ordering::Relaxed);
+        if self.sink.enabled() {
+            self.emit(TraceEvent::PeerGone {
+                peer: peer as u64,
+                reason: reason.to_owned(),
+            });
+        }
+    }
+
+    /// Hands `item` to `to`'s writer queue. A full queue means the peer
+    /// is not consuming at the synchronous schedule's pace: the frame is
+    /// shed and the peer disconnected rather than letting its backlog
+    /// grow without bound.
+    fn enqueue(&mut self, to: usize, item: WriterItem) {
+        let wire_len = item.wire_len();
+        let Some(tx) = self.writers[to].clone() else {
+            return;
+        };
+        match tx.try_send(item) {
+            Ok(()) => {
+                self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .wire_bytes_sent
+                    .fetch_add(wire_len, Ordering::Relaxed);
+            }
+            Err(tokio_mpsc::error::TrySendError::Full(_)) => {
+                self.stats.frames_shed.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .overflow_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                self.writers[to] = None;
+                self.mark_gone(to, "overflow");
+            }
+            Err(tokio_mpsc::error::TrySendError::Closed(_)) => {
+                self.writers[to] = None;
+                self.mark_gone(to, "writer-closed");
+            }
+        }
+    }
+
+    /// Executes the crash fault: drop every writer sender so the queues
+    /// drain and the write sides shut down (peers see EOF), and go
+    /// silent. No `Bye` is sent — this models a process kill, not a
+    /// graceful exit.
+    fn crash(&mut self) {
+        self.crashed = true;
+        self.pending.clear();
+        for w in &mut self.writers {
+            *w = None;
+        }
+    }
 }
 
 impl Comm for TcpParty {
@@ -277,32 +506,84 @@ impl Comm for TcpParty {
     fn next_round(&mut self) -> Inbox {
         self.round += 1;
         let round = self.round;
+        if self.crashed {
+            // A crashed party neither sends nor observes anything; calls
+            // keep returning empty so driver loops above stay simple.
+            self.pending.clear();
+            return Inbox::with_parties(self.n);
+        }
+        if self.fault.is_crash_round(round) {
+            if self.sink.enabled() {
+                self.emit(TraceEvent::RoundStart);
+                self.emit(TraceEvent::FaultInjected {
+                    strategy: "crash".to_owned(),
+                });
+                self.emit(TraceEvent::RoundEnd);
+            }
+            self.crash();
+            return Inbox::with_parties(self.n);
+        }
         let tracing = self.sink.enabled();
         if tracing {
             self.emit(TraceEvent::RoundStart);
+        }
+        let stalled = self.fault.stalls_in(round);
+        let slow = self.fault.skips_drain_in(round);
+        if tracing && stalled {
+            self.emit(TraceEvent::FaultInjected {
+                strategy: "stall".to_owned(),
+            });
+        }
+        if tracing && slow {
+            self.emit(TraceEvent::FaultInjected {
+                strategy: "slow-reader".to_owned(),
+            });
+        }
+        if self.fault.emits_garbage_in(round) {
+            if tracing {
+                self.emit(TraceEvent::FaultInjected {
+                    strategy: "garbage".to_owned(),
+                });
+            }
+            // One-byte body holding an invalid frame tag: passes the
+            // length check, fails decode, gets us dropped by the peer.
+            let garbage: Vec<u8> = vec![0, 0, 0, 1, 0xFF];
+            for peer in 0..self.n {
+                self.enqueue(peer, WriterItem::Raw(garbage.clone()));
+            }
         }
         let wait_start = self.clock.now();
         let mut inbox = Inbox::with_parties(self.n);
 
         // Flush sends (self-delivery is local).
         for (to, payload) in std::mem::take(&mut self.pending) {
-            if tracing && to != self.me {
+            if to == self.me {
+                inbox.push(self.me, payload);
+                continue;
+            }
+            if stalled {
+                // A stalled party's messages missed their synchronous
+                // window; sending them late would only get them dropped.
+                continue;
+            }
+            if tracing {
                 self.emit(TraceEvent::Send {
                     to: to.index() as u64,
                     bytes: payload.len() as u64,
                 });
             }
-            if to == self.me {
-                inbox.push(self.me, payload);
-            } else if let Some(tx) = &self.writers[to.index()] {
-                let _ = tx.send(Frame::Msg {
+            self.enqueue(
+                to.index(),
+                WriterItem::Frame(Frame::Msg {
                     round,
                     payload: payload.to_vec(),
-                });
-            }
+                }),
+            );
         }
-        for tx in self.writers.iter().flatten() {
-            let _ = tx.send(Frame::Eor { round });
+        if !stalled {
+            for peer in 0..self.n {
+                self.enqueue(peer, WriterItem::Frame(Frame::Eor { round }));
+            }
         }
 
         // Adopt any messages that arrived early for this round.
@@ -312,37 +593,51 @@ impl Comm for TcpParty {
             }
         }
 
-        // Wait for all live peers' markers, at most Δ.
-        let deadline = self.clock.now().saturating_add(self.delta);
-        while (0..self.n).any(|p| !self.peer_done(p, round)) {
-            let now = self.clock.now();
-            let Some(budget) = deadline.checked_sub(now).filter(|d| !d.is_zero()) else {
-                break;
-            };
-            match self.events.recv_timeout(budget) {
-                Ok(Event::Msg {
-                    from,
-                    round: msg_round,
-                    payload,
-                }) => {
-                    if msg_round == round {
-                        inbox.push(PartyId(from), payload);
-                    } else if msg_round > round {
-                        self.future_msgs
-                            .entry(msg_round)
-                            .or_default()
-                            .push((from, payload));
+        // Wait for all live peers' markers, at most Δ. A slow-reader
+        // fault skips the drain; this round's messages are consumed next
+        // round and discarded as stale.
+        if !slow {
+            let deadline = self.clock.now().saturating_add(self.delta);
+            while (0..self.n).any(|p| !self.peer_done(p, round)) {
+                let now = self.clock.now();
+                let Some(budget) = deadline.checked_sub(now).filter(|d| !d.is_zero()) else {
+                    break;
+                };
+                match self.events.recv_timeout(budget) {
+                    Ok(Event::Msg {
+                        from,
+                        round: msg_round,
+                        payload,
+                    }) => {
+                        if msg_round == round {
+                            inbox.push(PartyId(from), payload);
+                        } else if msg_round > round {
+                            self.future_msgs
+                                .entry(msg_round)
+                                .or_default()
+                                .push((from, payload));
+                        }
+                        // Late messages (msg_round < round) missed their Δ: drop.
                     }
-                    // Late messages (msg_round < round) missed their Δ: drop.
+                    Ok(Event::Eor { from, round: r }) => {
+                        self.eor[from] = self.eor[from].max(r);
+                    }
+                    Ok(Event::Gone { from, graceful }) => {
+                        if graceful {
+                            // A deliberate Bye: the peer finished its run.
+                            // Stop waiting on it, but this is not an
+                            // outage — no stat bump, no PeerGone record
+                            // (which would also race with round timing).
+                            if from != self.me.index() {
+                                self.gone[from] = true;
+                            }
+                        } else {
+                            self.mark_gone(from, "eof");
+                        }
+                    }
+                    Err(std_mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(std_mpsc::RecvTimeoutError::Disconnected) => break,
                 }
-                Ok(Event::Eor { from, round: r }) => {
-                    self.eor[from] = self.eor[from].max(r);
-                }
-                Ok(Event::Gone { from }) => {
-                    self.gone[from] = true;
-                }
-                Err(std_mpsc::RecvTimeoutError::Timeout) => break,
-                Err(std_mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
         let waited = self.clock.now().saturating_sub(wait_start);
@@ -385,6 +680,13 @@ impl Comm for TcpParty {
         }
     }
 
+    fn silent_parties(&self) -> Vec<PartyId> {
+        (0..self.n)
+            .filter(|&p| p != self.me.index() && self.gone[p])
+            .map(PartyId)
+            .collect()
+    }
+
     fn trace_enabled(&self) -> bool {
         self.sink.enabled()
     }
@@ -398,8 +700,9 @@ impl Comm for TcpParty {
 
 impl Drop for TcpParty {
     fn drop(&mut self) {
+        // A crashed party's writers are already gone; nothing is sent.
         for tx in self.writers.iter().flatten() {
-            let _ = tx.send(Frame::Bye);
+            let _ = tx.try_send(WriterItem::Frame(Frame::Bye));
         }
         self.sink.flush();
     }
@@ -407,21 +710,40 @@ impl Drop for TcpParty {
 
 /// Establishes one TCP stream per peer: lower-indexed parties accept,
 /// higher-indexed parties dial (so each pair has exactly one stream).
+///
+/// Hardened against a hostile or flaky network: dials retry with bounded
+/// exponential backoff under an overall deadline, and the accept loop
+/// drops (rather than aborts on) connections with malformed, impersonated,
+/// or duplicate handshakes — a port scanner cannot consume a peer's slot.
 async fn establish_clique(
     me: PartyId,
     addrs: &[SocketAddr],
+    opts: &EstablishOpts,
+    clock: &dyn Clock,
+    stats: &StatsInner,
 ) -> Result<Vec<(usize, TcpStream)>, RuntimeError> {
     let n = addrs.len();
     let listener = TcpListener::bind(addrs[me.index()]).await?;
+    let deadline = clock.now().saturating_add(opts.deadline);
     // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count
     let mut streams: Vec<(usize, TcpStream)> = Vec::with_capacity(n.saturating_sub(1));
 
-    // Dial everyone below us (with retry while they come up).
+    // Dial everyone below us, retrying with backoff while they come up.
     for (peer, addr) in addrs.iter().enumerate().take(me.index()) {
+        let mut backoff = opts.initial_backoff;
         let stream = loop {
-            match TcpStream::connect(*addr).await {
+            let Some(remaining) = remaining_budget(deadline, clock) else {
+                return Err(RuntimeError::EstablishTimeout {
+                    missing: vec![peer],
+                });
+            };
+            match TcpStream::connect_timeout(*addr, remaining.min(ESTABLISH_POLL)).await {
                 Ok(s) => break s,
-                Err(_) => tokio::time::sleep(Duration::from_millis(20)).await,
+                Err(_) => {
+                    stats.dial_retries.fetch_add(1, Ordering::Relaxed);
+                    tokio::time::sleep(backoff.min(ESTABLISH_POLL)).await;
+                    backoff = backoff.saturating_mul(2).min(opts.max_backoff);
+                }
             }
         };
         stream.set_nodelay(true).ok();
@@ -436,25 +758,64 @@ async fn establish_clique(
         streams.push((peer, stream));
     }
 
-    // Accept everyone above us.
-    for _ in me.index() + 1..n {
-        let (mut stream, _) = listener.accept().await?;
+    // Accept everyone above us, dropping strays until the deadline.
+    let expected = n - me.index() - 1;
+    let mut taken = vec![false; n];
+    let mut accepted = 0usize;
+    while accepted < expected {
+        let Some(remaining) = remaining_budget(deadline, clock) else {
+            let missing: Vec<usize> = (me.index() + 1..n).filter(|&p| !taken[p]).collect();
+            return Err(RuntimeError::EstablishTimeout { missing });
+        };
+        let (mut stream, _) = match listener.accept_timeout(remaining.min(ESTABLISH_POLL)).await {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
+            Err(e) => return Err(e.into()),
+        };
         stream.set_nodelay(true).ok();
-        let mut len_buf = [0u8; 4];
-        stream.read_exact(&mut len_buf).await?;
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > 1024 {
-            return Err(RuntimeError::BadHandshake);
-        }
-        let mut body = vec![0u8; len];
-        stream.read_exact(&mut body).await?;
-        match Frame::decode_from_slice(&body) {
-            Ok(Frame::Hello { from }) if (from as usize) < n => {
-                streams.push((from as usize, stream));
+        // A connection that never completes its handshake must not block
+        // the accept loop: bound the hello read, then reject on timeout.
+        stream
+            .set_read_timeout(Some(remaining.min(ESTABLISH_POLL)))
+            .ok();
+        match read_hello(&mut stream).await {
+            // The accept side only ever hears from higher-indexed
+            // parties (they dial us), so a hello claiming our own index
+            // or lower is an impersonation attempt; a repeated index is
+            // a duplicate. Both are dropped, never trusted.
+            Some(from) if from > me.index() && from < n && !taken[from] => {
+                stream.set_read_timeout(None).ok();
+                taken[from] = true;
+                streams.push((from, stream));
+                accepted += 1;
             }
-            _ => return Err(RuntimeError::BadHandshake),
+            _ => {
+                stats.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                // Drop the stray and keep accepting.
+            }
         }
     }
 
     Ok(streams)
+}
+
+/// Time left before `deadline`, or `None` when it has passed.
+fn remaining_budget(deadline: Duration, clock: &dyn Clock) -> Option<Duration> {
+    deadline.checked_sub(clock.now()).filter(|d| !d.is_zero())
+}
+
+/// Reads and decodes one handshake frame; `None` on anything malformed.
+async fn read_hello(stream: &mut TcpStream) -> Option<usize> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).await.ok()?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > crate::frame::MAX_HELLO_FRAME_LEN {
+        return None;
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).await.ok()?;
+    match Frame::decode_from_slice(&body) {
+        Ok(Frame::Hello { from }) => Some(from as usize),
+        _ => None,
+    }
 }

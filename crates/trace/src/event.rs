@@ -54,6 +54,18 @@ pub enum Event {
         /// Corruption mode or strategy name.
         strategy: String,
     },
+    /// The stamped party stopped listening to `peer`: its stream ended
+    /// (EOF/`Bye`/decode failure) or the transport cut it off (writer
+    /// queue overflow). From this record on the peer is treated as
+    /// silent-byzantine by the emitting party. The emission round is an
+    /// *observation* time — stream ends are asynchronous, so it may vary
+    /// across otherwise identical runs (see the TCP runtime docs).
+    PeerGone {
+        /// Index of the disconnected peer.
+        peer: u64,
+        /// Why the peer was dropped (e.g. `"eof"`, `"overflow"`).
+        reason: String,
+    },
     /// Free-form protocol annotation (e.g. `find_prefix` iteration counts).
     Note {
         /// Annotation key.
@@ -76,6 +88,7 @@ impl Event {
             Event::Input { .. } => "input",
             Event::Decide { .. } => "decide",
             Event::FaultInjected { .. } => "fault",
+            Event::PeerGone { .. } => "peer_gone",
             Event::Note { .. } => "note",
         }
     }
@@ -143,6 +156,10 @@ impl Record {
             }
             Event::Input { value } | Event::Decide { value } => field("value", value, true),
             Event::FaultInjected { strategy } => field("strategy", strategy, true),
+            Event::PeerGone { peer, reason } => {
+                field("peer", &peer.to_string(), false);
+                field("reason", reason, true);
+            }
             Event::Note { label, value } => {
                 field("label", label, true);
                 field("value", value, true);
@@ -192,6 +209,10 @@ impl Record {
             "fault" => Event::FaultInjected {
                 strategy: obj.str("strategy")?.to_owned(),
             },
+            "peer_gone" => Event::PeerGone {
+                peer: obj.num("peer")?,
+                reason: obj.str("reason")?.to_owned(),
+            },
             "note" => Event::Note {
                 label: obj.str("label")?.to_owned(),
                 value: obj.str("value")?.to_owned(),
@@ -221,6 +242,7 @@ impl fmt::Display for Record {
             Event::Deliver { from, bytes } => write!(f, " from=P{from} bytes={bytes}"),
             Event::Input { value } | Event::Decide { value } => write!(f, " value={value}"),
             Event::FaultInjected { strategy } => write!(f, " strategy={strategy}"),
+            Event::PeerGone { peer, reason } => write!(f, " peer=P{peer} reason={reason}"),
             Event::Note { label, value } => write!(f, " {label}={value}"),
         }
     }
@@ -298,6 +320,10 @@ mod tests {
             },
             Event::FaultInjected {
                 strategy: "scripted".to_owned(),
+            },
+            Event::PeerGone {
+                peer: 3,
+                reason: "eof".to_owned(),
             },
             Event::Note {
                 label: "iterations".to_owned(),

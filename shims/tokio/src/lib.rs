@@ -126,6 +126,22 @@ pub mod net {
             std::net::TcpStream::connect(addr).map(|inner| Self { inner })
         }
 
+        /// Connects to `addr`, failing with `TimedOut` if the connection
+        /// is not established within `timeout` (shim extension backed by
+        /// `std::net::TcpStream::connect_timeout`; real tokio reaches the
+        /// same behavior with `tokio::time::timeout`, which the blocking
+        /// shim cannot express).
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub async fn connect_timeout(
+            addr: SocketAddr,
+            timeout: std::time::Duration,
+        ) -> std::io::Result<Self> {
+            std::net::TcpStream::connect_timeout(&addr, timeout).map(|inner| Self { inner })
+        }
+
         /// Sets `TCP_NODELAY`.
         ///
         /// # Errors
@@ -133,6 +149,18 @@ pub mod net {
         /// Propagates the underlying socket error.
         pub fn set_nodelay(&self, nodelay: bool) -> std::io::Result<()> {
             self.inner.set_nodelay(nodelay)
+        }
+
+        /// Bounds every subsequent blocking read on this stream (shim
+        /// extension backed by `std::net::TcpStream::set_read_timeout`);
+        /// `None` restores unbounded reads. A timed-out read surfaces as
+        /// a `WouldBlock`/`TimedOut` I/O error.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the underlying socket error.
+        pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> std::io::Result<()> {
+            self.inner.set_read_timeout(dur)
         }
 
         /// Splits into independently owned read/write halves.
@@ -227,6 +255,44 @@ pub mod net {
                 .accept()
                 .map(|(stream, addr)| (TcpStream { inner: stream }, addr))
         }
+
+        /// Accepts one inbound connection, failing with `TimedOut` when
+        /// nothing arrives within `timeout` (shim extension: the listener
+        /// is polled in nonblocking mode; real tokio reaches the same
+        /// behavior with `tokio::time::timeout(listener.accept())`).
+        ///
+        /// # Errors
+        ///
+        /// `TimedOut` on expiry; otherwise the underlying socket error.
+        pub async fn accept_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> std::io::Result<(TcpStream, SocketAddr)> {
+            self.inner.set_nonblocking(true)?;
+            let deadline = std::time::Instant::now() + timeout;
+            let result = loop {
+                match self.inner.accept() {
+                    Ok(pair) => break Ok(pair),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if std::time::Instant::now() >= deadline {
+                            break Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "accept timed out",
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            // Restore blocking mode on the listener AND the accepted
+            // socket (accepted sockets can inherit O_NONBLOCK on some
+            // platforms).
+            self.inner.set_nonblocking(false)?;
+            let (stream, addr) = result?;
+            stream.set_nonblocking(false)?;
+            Ok((TcpStream { inner: stream }, addr))
+        }
     }
 }
 
@@ -286,7 +352,7 @@ pub mod io {
 
 /// Channel primitives, mirroring `tokio::sync`.
 pub mod sync {
-    /// Unbounded MPSC channel with an async receiver.
+    /// Bounded and unbounded MPSC channels with async receivers.
     pub mod mpsc {
         use std::sync::mpsc as std_mpsc;
 
@@ -295,6 +361,78 @@ pub mod sync {
             /// The receiving half was dropped.
             #[derive(Debug, PartialEq, Eq)]
             pub struct SendError<T>(pub T);
+
+            /// A non-blocking send could not complete.
+            #[derive(Debug, PartialEq, Eq)]
+            pub enum TrySendError<T> {
+                /// The bounded queue is at capacity.
+                Full(T),
+                /// The receiving half was dropped.
+                Closed(T),
+            }
+        }
+
+        /// Sending half of a bounded channel; cloneable.
+        #[derive(Debug)]
+        pub struct Sender<T>(std_mpsc::SyncSender<T>);
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                Sender(self.0.clone())
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Sends `value`, waiting while the queue is full (the shim
+            /// blocks the task's thread, matching its execution model).
+            ///
+            /// # Errors
+            ///
+            /// Returns the value if the receiver is gone.
+            pub async fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+                self.0
+                    .send(value)
+                    .map_err(|std_mpsc::SendError(v)| error::SendError(v))
+            }
+
+            /// Attempts to send without blocking.
+            ///
+            /// # Errors
+            ///
+            /// [`error::TrySendError::Full`] when the queue is at
+            /// capacity, [`error::TrySendError::Closed`] when the
+            /// receiver is gone.
+            pub fn try_send(&self, value: T) -> Result<(), error::TrySendError<T>> {
+                self.0.try_send(value).map_err(|e| match e {
+                    std_mpsc::TrySendError::Full(v) => error::TrySendError::Full(v),
+                    std_mpsc::TrySendError::Disconnected(v) => error::TrySendError::Closed(v),
+                })
+            }
+        }
+
+        /// Receiving half of a bounded channel; `recv().await` blocks the
+        /// task's thread.
+        #[derive(Debug)]
+        pub struct Receiver<T>(std_mpsc::Receiver<T>);
+
+        impl<T> Receiver<T> {
+            /// Awaits the next value; `None` once all senders are dropped.
+            pub async fn recv(&mut self) -> Option<T> {
+                self.0.recv().ok()
+            }
+        }
+
+        /// Creates a bounded channel holding at most `capacity` queued
+        /// values.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity == 0` (matching real tokio).
+        #[must_use]
+        pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+            assert!(capacity > 0, "mpsc bounded channel requires capacity > 0");
+            let (tx, rx) = std_mpsc::sync_channel(capacity);
+            (Sender(tx), Receiver(rx))
         }
 
         /// Sending half; cloneable, non-blocking.
@@ -392,5 +530,70 @@ mod tests {
         let rt = crate::runtime::Builder::new_multi_thread().build().unwrap();
         assert_eq!(rt.block_on(rx.recv()), Some(5));
         assert_eq!(rt.block_on(rx.recv()), None);
+    }
+
+    #[test]
+    fn bounded_mpsc_try_send_reports_full_and_closed() {
+        use crate::sync::mpsc::error::TrySendError;
+        let (tx, mut rx) = crate::sync::mpsc::channel::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        let rt = crate::runtime::Builder::new_multi_thread().build().unwrap();
+        assert_eq!(rt.block_on(rx.recv()), Some(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Closed(4))));
+    }
+
+    #[test]
+    fn accept_timeout_expires_then_still_accepts() {
+        use std::time::Duration;
+        let rt = crate::runtime::Builder::new_multi_thread().build().unwrap();
+        rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0".parse().unwrap())
+                .await
+                .unwrap();
+            let local = listener.local_addr().unwrap();
+            // Nothing is dialing yet: the bounded accept must expire.
+            let err = listener
+                .accept_timeout(Duration::from_millis(30))
+                .await
+                .unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+            // A real connection is still accepted afterwards, in blocking
+            // mode, and the accepted socket reads normally.
+            let dialer = std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(local).unwrap();
+                std::io::Write::write_all(&mut s, b"ok").unwrap();
+            });
+            let (stream, _) = listener
+                .accept_timeout(Duration::from_secs(5))
+                .await
+                .unwrap();
+            let (mut read, _write) = stream.into_split();
+            let mut buf = [0u8; 2];
+            read.read_exact(&mut buf).await.unwrap();
+            assert_eq!(&buf, b"ok");
+            dialer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn connect_timeout_to_unroutable_address_errors() {
+        use std::time::Duration;
+        let rt = crate::runtime::Builder::new_multi_thread().build().unwrap();
+        rt.block_on(async {
+            // A just-released localhost port: refused (or timed out)
+            // promptly either way — the call must not hang.
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap();
+            drop(l);
+            let started = std::time::Instant::now();
+            let res =
+                crate::net::TcpStream::connect_timeout(addr, Duration::from_millis(200)).await;
+            assert!(res.is_err());
+            assert!(started.elapsed() < Duration::from_secs(5));
+        });
     }
 }

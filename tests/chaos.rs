@@ -1,0 +1,163 @@
+//! Chaos test: an n = 4 TCP cluster keeps deciding when one party
+//! crashes mid-protocol, and the honest parties' traces are
+//! byte-deterministic across runs.
+//!
+//! Determinism needs two ingredients: every party runs on a frozen
+//! [`ManualClock`] (so the `Δ`-timeout path is never taken — rounds end
+//! only on end-of-round markers and disconnect observations), and the
+//! crash is scripted with a [`FaultPlan`] instead of a real kill (so it
+//! lands at the same round every run). The only records whose position
+//! is inherently racy are `peer_gone` observations — stream EOFs are
+//! asynchronous — so the byte comparison strips those lines (their
+//! *content* is still asserted separately).
+
+use std::path::Path;
+use std::time::Duration;
+
+use convex_agreement::net::{Comm, CommExt, PartyId};
+use convex_agreement::runtime::{Clock, FaultPlan, ManualClock, TcpCluster};
+use convex_agreement::trace::{check, read_jsonl, Event};
+
+const N: usize = 4;
+const CRASH_PARTY: usize = 3;
+const CRASH_ROUND: u64 = 3;
+const ROUNDS: u64 = 6;
+const INPUTS: [u64; N] = [10, 40, 20, 30];
+
+/// Iterated midpoint over `u64`: a convex-agreement stand-in that is
+/// deterministic, converges fast, and — crucially for a chaos test —
+/// tolerates empty inboxes (a crashed party's transport returns nothing,
+/// and the protocol code on top must not panic).
+fn iterated_midpoint(ctx: &mut dyn Comm, id: PartyId) -> u64 {
+    ctx.scoped("chaos", |ctx| {
+        let mut v = INPUTS[id.index()];
+        ctx.trace_input(|| v.to_string());
+        for _ in 0..ROUNDS {
+            let inbox = ctx.exchange(&v);
+            let vals: Vec<u64> = inbox
+                .decode_each::<u64>()
+                .into_iter()
+                .map(|(_, x)| x)
+                .collect();
+            if let (Some(&min), Some(&max)) = (vals.iter().min(), vals.iter().max()) {
+                v = min + (max - min) / 2;
+            }
+        }
+        ctx.trace_decide(|| v.to_string());
+        v
+    })
+}
+
+fn run_cluster(trace_dir: &Path) -> convex_agreement::runtime::ClusterReport<u64> {
+    TcpCluster::new(N)
+        // Δ is huge on purpose: under a frozen clock the timeout path
+        // must never fire; rounds end via markers and EOFs alone.
+        .with_delta(Duration::from_secs(3600))
+        .with_clock_factory(|_| -> Box<dyn Clock> { Box::new(ManualClock::new()) })
+        .with_fault_plan(CRASH_PARTY, FaultPlan::new().crash_at(CRASH_ROUND))
+        .with_trace_dir(trace_dir)
+        .run_report(iterated_midpoint)
+        .expect("cluster run")
+}
+
+/// Trace bytes with the racy `peer_gone` observation lines removed.
+fn stable_lines(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .expect("trace file")
+        .lines()
+        .filter(|line| !line.contains("\"ev\":\"peer_gone\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn cluster_decides_with_one_party_crashed_and_traces_deterministically() {
+    let base = std::env::temp_dir().join(format!("ca_chaos_{}", std::process::id()));
+    let dir_a = base.join("run_a");
+    let dir_b = base.join("run_b");
+
+    let report = run_cluster(&dir_a);
+
+    // Every honest party decided, they agree, and the decision lies in
+    // the honest input hull.
+    let honest: Vec<u64> = (0..N)
+        .filter(|&i| i != CRASH_PARTY)
+        .map(|i| report.outputs[i])
+        .collect();
+    assert!(
+        honest.windows(2).all(|w| w[0] == w[1]),
+        "honest parties disagree: {honest:?}"
+    );
+    assert!(
+        (10..=40).contains(&honest[0]),
+        "decision {} outside input hull",
+        honest[0]
+    );
+
+    // Every party ran the full schedule of rounds (the crashed party's
+    // transport keeps counting calls; it just does nothing).
+    assert_eq!(report.rounds, vec![ROUNDS; N]);
+
+    // Each honest party observed exactly the crashed peer as gone; the
+    // crashed party stops observing anything.
+    for i in 0..N {
+        let expected = u64::from(i != CRASH_PARTY);
+        assert_eq!(
+            report.stats[i].peers_gone, expected,
+            "party {i} peers_gone: {:?}",
+            report.stats[i]
+        );
+    }
+
+    // The crashed party's trace records the injected fault; honest
+    // traces each record the crashed peer's disappearance exactly once.
+    for i in 0..N {
+        let records = read_jsonl(&dir_a.join(format!("party_{i}.jsonl"))).expect("trace");
+        let faults: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::FaultInjected { strategy } => Some((r.round, strategy.clone())),
+                _ => None,
+            })
+            .collect();
+        let gone: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::PeerGone { peer, reason } => Some((*peer, reason.clone())),
+                _ => None,
+            })
+            .collect();
+        if i == CRASH_PARTY {
+            assert_eq!(faults, vec![(CRASH_ROUND, "crash".to_owned())]);
+            assert_eq!(gone, vec![]);
+        } else {
+            assert_eq!(faults, vec![], "honest party {i} traced a fault");
+            assert_eq!(
+                gone,
+                vec![(CRASH_PARTY as u64, "eof".to_owned())],
+                "party {i}"
+            );
+        }
+    }
+
+    // The combined trace passes every invariant: the crashed party is
+    // excluded (FaultInjected) and honest decides sit in the honest
+    // input hull.
+    let mut all = Vec::new();
+    for i in 0..N {
+        all.extend(read_jsonl(&dir_a.join(format!("party_{i}.jsonl"))).expect("trace"));
+    }
+    assert_eq!(check(&all), vec![]);
+
+    // A second identical run produces byte-identical honest timelines
+    // (modulo the stripped peer_gone observations).
+    let report_b = run_cluster(&dir_b);
+    assert_eq!(report.outputs, report_b.outputs);
+    for i in 0..N {
+        let a = stable_lines(&dir_a.join(format!("party_{i}.jsonl")));
+        let b = stable_lines(&dir_b.join(format!("party_{i}.jsonl")));
+        assert_eq!(a, b, "party {i} trace differs between identical runs");
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
