@@ -3,7 +3,8 @@
 use ca_net::{Corruption, PartyId, Sim};
 
 use crate::strategies::{
-    AdaptiveGarbage, DelayedCrash, Equivocate, Garbage, PeriodicBurst, Replay,
+    AdaptiveGarbage, DelayedCrash, Equivocate, EquivocateThenCrash, Garbage, LateFault,
+    PeriodicBurst, Replay,
 };
 
 /// How a lying (protocol-following but corrupted) party distorts its input.
@@ -43,6 +44,14 @@ pub enum AttackKind {
     DelayedCrash,
     /// `t` scripted parties silent except periodic equivocation bursts.
     Burst,
+    /// `t` scripted parties equivocating until mid-protocol, then
+    /// crash-stopping: poisons an optimistic fast path *and* removes the
+    /// senders the fallback would like to hear from.
+    EquivocateThenCrash,
+    /// `t` scripted parties indistinguishable from honest silence early,
+    /// spraying garbage from a late round on: misbehavior *onset* after a
+    /// clean prefix.
+    LateFault,
 }
 
 /// A reproducible attack plan: a strategy plus its RNG seed.
@@ -92,6 +101,25 @@ impl Attack {
         .collect()
     }
 
+    /// The fast-path conformance matrix: fault schedules aimed at a
+    /// fault-*adaptive* protocol — misbehave exactly at the fault budget,
+    /// stop misbehaving, or start late — kept separate from
+    /// [`Attack::standard_suite`] (whose length and order are pinned by
+    /// existing tests and proptest index ranges).
+    pub fn conformance_suite(seed: u64) -> Vec<Attack> {
+        [
+            AttackKind::EquivocateThenCrash,
+            AttackKind::LateFault,
+            // f = t from round 0: the budget's edge, silent flavor.
+            AttackKind::Crash,
+            AttackKind::DelayedCrash,
+            AttackKind::Burst,
+        ]
+        .into_iter()
+        .map(|kind| Attack { kind, seed })
+        .collect()
+    }
+
     /// Human-readable name for tables.
     pub fn name(&self) -> &'static str {
         match self.kind {
@@ -106,6 +134,8 @@ impl Attack {
             AttackKind::Adaptive => "adaptive",
             AttackKind::DelayedCrash => "delayed-crash",
             AttackKind::Burst => "burst",
+            AttackKind::EquivocateThenCrash => "equivocate-then-crash",
+            AttackKind::LateFault => "late-fault",
         }
     }
 
@@ -155,6 +185,10 @@ impl Attack {
             AttackKind::Adaptive => Some(Box::new(AdaptiveGarbage::new(self.seed, 3))),
             AttackKind::DelayedCrash => Some(Box::new(DelayedCrash::new(self.seed, 10))),
             AttackKind::Burst => Some(Box::new(PeriodicBurst::new(self.seed, 4))),
+            AttackKind::EquivocateThenCrash => {
+                Some(Box::new(EquivocateThenCrash::new(self.seed, 6)))
+            }
+            AttackKind::LateFault => Some(Box::new(LateFault::new(self.seed, 8))),
         }
     }
 
@@ -191,6 +225,22 @@ mod tests {
         assert_eq!(suite.len(), 11);
         let names: std::collections::HashSet<_> = suite.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 11, "names must be distinct");
+    }
+
+    #[test]
+    fn conformance_suite_is_distinct_and_scripted() {
+        let suite = Attack::conformance_suite(1);
+        assert_eq!(suite.len(), 5);
+        let names: std::collections::HashSet<_> = suite.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 5, "names must be distinct");
+        for a in &suite {
+            assert!(
+                !a.is_lying(),
+                "{}: conformance attacks are scripted",
+                a.name()
+            );
+            assert_eq!(a.corrupted_parties(7, 2).len(), 2, "{}", a.name());
+        }
     }
 
     #[test]

@@ -27,4 +27,7 @@ mod attack;
 mod strategies;
 
 pub use attack::{Attack, AttackKind, LieKind};
-pub use strategies::{AdaptiveGarbage, DelayedCrash, Equivocate, Garbage, PeriodicBurst, Replay};
+pub use strategies::{
+    AdaptiveGarbage, DelayedCrash, Equivocate, EquivocateThenCrash, Garbage, LateFault,
+    PeriodicBurst, Replay,
+};

@@ -205,6 +205,68 @@ impl Adversary for DelayedCrash {
     }
 }
 
+/// Equivocate-then-crash: corrupted parties equivocate (two honest
+/// payloads, split across recipients) until round `crash_at`, then fall
+/// silent forever. The worst case for an optimistic fast path: the
+/// equivocation poisons the attempt while the subsequent silence tests
+/// that the certified fallback still terminates with `f` fewer senders.
+#[derive(Debug)]
+pub struct EquivocateThenCrash {
+    crash_at: u64,
+    inner: Equivocate,
+}
+
+impl EquivocateThenCrash {
+    /// Equivocates until `crash_at`, silent afterwards.
+    pub fn new(seed: u64, crash_at: u64) -> Self {
+        Self {
+            crash_at,
+            inner: Equivocate::new(seed),
+        }
+    }
+}
+
+impl Adversary for EquivocateThenCrash {
+    fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
+        if view.round >= self.crash_at {
+            RoundActions::default()
+        } else {
+            self.inner.on_round(view)
+        }
+    }
+}
+
+/// Late fault: corrupted parties behave exactly like honest silence until
+/// round `start_at`, then spray garbage forever. Complements
+/// [`DelayedCrash`]: the misbehavior *starts* late instead of stopping
+/// early, so an optimistic protocol that sampled a clean prefix of the
+/// run must still survive the onset.
+#[derive(Debug)]
+pub struct LateFault {
+    start_at: u64,
+    inner: Garbage,
+}
+
+impl LateFault {
+    /// Silent until `start_at`, garbage afterwards.
+    pub fn new(seed: u64, start_at: u64) -> Self {
+        Self {
+            start_at,
+            inner: Garbage::new(seed),
+        }
+    }
+}
+
+impl Adversary for LateFault {
+    fn on_round(&mut self, view: &RoundView<'_>) -> RoundActions {
+        if view.round < self.start_at {
+            RoundActions::default()
+        } else {
+            self.inner.on_round(view)
+        }
+    }
+}
+
 /// Periodic burst attack: silent except every `period`-th round, where all
 /// corrupted parties spray equivocating replays. Timed to coincide with
 /// king/vote rounds of phase-structured protocols (whose period is a small
@@ -324,6 +386,53 @@ mod tests {
             assert_eq!(out[1], 0);
             assert!(out[2] > 0, "burst expected on round 2: {out:?}");
         }
+    }
+
+    #[test]
+    fn equivocate_then_crash_goes_silent() {
+        let report = Sim::new(4)
+            .corrupt(PartyId(3), Corruption::Scripted)
+            .with_adversary(EquivocateThenCrash::new(5, 2))
+            .run(|ctx: &mut dyn Comm, _id| {
+                let mut per_round = Vec::new();
+                for r in 0..4u64 {
+                    let inbox = ctx.exchange(&r);
+                    per_round.push(inbox.raw_from(PartyId(3)).len());
+                }
+                per_round
+            });
+        for out in report.honest_outputs() {
+            assert!(out[0] > 0, "equivocation expected before crash: {out:?}");
+            assert_eq!(out[2], 0, "silent after crash: {out:?}");
+            assert_eq!(out[3], 0);
+        }
+    }
+
+    #[test]
+    fn late_fault_starts_on_schedule() {
+        let report = Sim::new(4)
+            .corrupt(PartyId(3), Corruption::Scripted)
+            .with_adversary(LateFault::new(5, 2))
+            .run(|ctx: &mut dyn Comm, _id| {
+                let mut per_round = Vec::new();
+                for r in 0..4u64 {
+                    let inbox = ctx.exchange(&r);
+                    per_round.push(inbox.raw_from(PartyId(3)).len());
+                }
+                per_round
+            });
+        for out in report.honest_outputs() {
+            assert_eq!(out[0], 0, "silent before onset: {out:?}");
+            assert_eq!(out[1], 0);
+            // Garbage skips some channels randomly; across two rounds and
+            // three honest observers at least one injection lands.
+        }
+        let total_late: usize = report
+            .honest_outputs()
+            .iter()
+            .map(|out| out[2] + out[3])
+            .sum();
+        assert!(total_late > 0, "garbage expected after onset");
     }
 
     #[test]

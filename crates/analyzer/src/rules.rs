@@ -94,8 +94,11 @@ const TRACED_CRATES: &[&str] = &[
 /// Crates whose internal queues must be bounded: the engine's
 /// backpressure guarantees and the TCP runtime's crash tolerance hold
 /// only if no channel can grow without limit under a flooding peer or a
-/// stalled consumer.
-const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine", "ca-runtime"];
+/// stalled consumer. The protocol crates (`ca-core`, `ca-ba`) are held
+/// to the same bar since the fault-adaptive fast path made them
+/// consumers of transport fault estimates: buffering between the
+/// optimistic attempt and the fallback must never be open-ended.
+const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine", "ca-runtime", "ca-core", "ca-ba"];
 
 /// The full rule registry, in reporting order.
 #[must_use]
@@ -151,8 +154,9 @@ pub fn all_rules() -> &'static [Rule] {
             name: "bounded-channels",
             severity: Severity::Error,
             description: "no unbounded channel constructors (mpsc::channel, unbounded, \
-                          unbounded_channel) in the engine or TCP runtime: every queue must \
-                          have a fixed depth so backpressure, not memory, absorbs overload",
+                          unbounded_channel) in the engine, TCP runtime, or protocol \
+                          crates: every queue must have a fixed depth so backpressure, \
+                          not memory, absorbs overload",
             scope: BOUNDED_QUEUE_CRATES,
             check_test_code: false,
             check: check_bounded_channels,

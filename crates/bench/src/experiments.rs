@@ -51,9 +51,10 @@ fn run_inner(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
         "e1" => e1_approx_vs_exact(quick),
         "s1" => s1_service_throughput(quick, artifacts),
         "r1" => r1_crash_resilience(quick, artifacts),
+        "a1" => a1_adaptive_sweep(quick, artifacts),
         "all" => {
             for id in [
-                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1",
+                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1", "a1",
             ] {
                 run_by_name_opts(id, quick, artifacts);
             }
@@ -727,6 +728,150 @@ pub fn r1_crash_resilience(quick: bool, artifacts: Option<&Path>) {
     }
 }
 
+/// **A1** — the fault-adaptive fast path (ROADMAP item 1): sweep the
+/// *actual* fault count `f = 0..t` at fixed `n` and compare
+/// `pi_n_adaptive` against the fixed-cost worst-case `pi_n`. Expected
+/// shape: at `f = 0` the fast path certifies and wins by a large constant
+/// factor in both bits and rounds; any `f > 0` silent party forces the
+/// certified fallback, whose cost matches the worst case plus the
+/// constant-round attempt. Every sweep point is traced and must pass
+/// `ca-trace check` (agreement + decide-in-hull + the fast-path
+/// invariants).
+///
+/// With `artifacts` set, writes `BENCH_a1.json` including the top-level
+/// gate `"f0_beats_worst_case"` (true iff `f = 0` used strictly fewer
+/// rounds and ≤ 0.5× the wire bits of the worst case, all sweep points
+/// correct and trace-clean).
+pub fn a1_adaptive_sweep(quick: bool, artifacts: Option<&Path>) {
+    use ca_bits::Nat;
+    use ca_core::{check_agreement, check_convex_validity, pi_n_adaptive, FastPathConfig};
+    use ca_net::{Corruption, PartyId};
+    use std::sync::Arc;
+
+    let n: usize = 7;
+    let t = ca_net::max_faults(n);
+    let ell = if quick { 96 } else { 256 };
+    let inputs = clustered_nats(0xA1, n, ell, ell / 2);
+
+    let mut summary = BenchSummary::new("a1");
+    let worst = run_nat_protocol(Protocol::PiN(BaKind::TurpinCoan), &inputs, Attack::none());
+    summary.push_run("worst-case pi_n, f = 0", &worst);
+
+    let mut table = Table::new(
+        &format!("A1: fault-adaptive fast path, n = {n}, t = {t}, ℓ = {ell}"),
+        &[
+            "f", "protocol", "bits", "rounds", "path", "agree", "convex", "trace",
+        ],
+    );
+    table.row_strings(vec![
+        "0".to_string(),
+        worst.protocol.to_string(),
+        fmt_bits(worst.honest_bits),
+        worst.rounds.to_string(),
+        "worst-case".to_string(),
+        worst.agreement.to_string(),
+        worst.validity.to_string(),
+        "-".to_string(),
+    ]);
+
+    let mut all_correct = true;
+    let mut f0 = None;
+    for f in 0..=t {
+        let sink = Arc::new(ca_trace::RingBufferSink::new(16 << 20));
+        let mut sim = Sim::new(n).with_trace(Arc::clone(&sink) as Arc<dyn ca_trace::TraceSink>);
+        for p in n - f..n {
+            // Scripted with no adversary: silent from round 0 — exactly
+            // `f` actual crash faults, deterministically.
+            sim = sim.corrupt(PartyId(p), Corruption::Scripted);
+        }
+        let run_inputs = inputs.clone();
+        let report = sim.run(move |ctx, id| {
+            pi_n_adaptive(
+                ctx,
+                &run_inputs[id.index()],
+                BaKind::TurpinCoan,
+                FastPathConfig::default(),
+            )
+        });
+        let honest_inputs: Vec<Nat> = report
+            .honest_parties()
+            .iter()
+            .map(|p| inputs[p.index()].clone())
+            .collect();
+        let outs: Vec<Nat> = report.honest_outputs().into_iter().cloned().collect();
+        let agreement = check_agreement(&outs);
+        let validity = check_convex_validity(&outs, &honest_inputs);
+        let records = sink.records();
+        assert_eq!(
+            sink.total_seen() as usize,
+            records.len(),
+            "a1 trace ring wrapped; raise its capacity"
+        );
+        let violations = ca_trace::check(&records);
+        let clean = violations.is_empty();
+        for v in &violations {
+            eprintln!("a1 trace violation at f = {f}: {v}");
+        }
+        let fast_deciders = records
+            .iter()
+            .filter(|r| matches!(r.event, ca_trace::Event::FastPathTaken { .. }))
+            .count();
+        let path = if fast_deciders > 0 {
+            format!("fast ({fast_deciders})")
+        } else {
+            "fallback".to_string()
+        };
+        all_correct &= agreement && validity && clean;
+        if f == 0 {
+            f0 = Some((report.metrics.honest_bits, report.metrics.rounds));
+        }
+
+        let stats = crate::runner::RunStats {
+            protocol: "pi_n_adaptive",
+            n,
+            t,
+            ell,
+            attack: if f == 0 { "none" } else { "crash" },
+            honest_bits: report.metrics.honest_bits,
+            rounds: report.metrics.rounds,
+            agreement,
+            validity,
+            metrics: report.metrics.clone(),
+        };
+        summary.push_run(&format!("adaptive, f = {f}"), &stats);
+        table.row_strings(vec![
+            f.to_string(),
+            "pi_n_adaptive".to_string(),
+            fmt_bits(stats.honest_bits),
+            stats.rounds.to_string(),
+            path,
+            agreement.to_string(),
+            validity.to_string(),
+            if clean { "clean" } else { "VIOLATION" }.to_string(),
+        ]);
+    }
+    table.print();
+
+    // ca-lint: allow(panic-path) — f0 is set by the f = 0 iteration above
+    let (f0_bits, f0_rounds) = f0.expect("sweep includes f = 0");
+    let f0_beats = all_correct && f0_rounds < worst.rounds && f0_bits * 2 <= worst.honest_bits;
+    summary.set_flag("f0_beats_worst_case", f0_beats);
+    println!(
+        "A1 verdict: f0_beats_worst_case = {f0_beats} \
+         (adaptive {} bits / {} rounds vs worst-case {} bits / {} rounds)",
+        fmt_bits(f0_bits),
+        f0_rounds,
+        fmt_bits(worst.honest_bits),
+        worst.rounds
+    );
+    if let Some(dir) = artifacts {
+        match summary.write(dir) {
+            Ok(path) => eprintln!("[a1 artifacts: {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_a1.json: {e}"),
+        }
+    }
+}
+
 /// Smoke-level sanity used by `cargo test -p ca-bench`: every experiment
 /// runs in quick mode without panicking.
 pub fn smoke_all() {
@@ -801,6 +946,30 @@ mod tests {
             "\"validity\": true",
             "\"wire_bytes_sent\"",
             "\"peers_gone\": 1",
+        ] {
+            assert!(bench.contains(key), "missing {key} in:\n{bench}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a1_artifact_gates_on_fast_path_win() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-a1-{}", std::process::id()));
+        assert!(super::run_by_name_opts("a1", true, Some(&dir)));
+        let bench = std::fs::read_to_string(dir.join("BENCH_a1.json")).unwrap();
+        assert_eq!(
+            bench.matches('{').count(),
+            bench.matches('}').count(),
+            "unbalanced braces in:\n{bench}"
+        );
+        for key in [
+            "\"experiment\": \"a1\"",
+            "\"f0_beats_worst_case\": true",
+            "\"label\": \"worst-case pi_n, f = 0\"",
+            "\"label\": \"adaptive, f = 0\"",
+            "\"label\": \"adaptive, f = 2\"",
+            "\"protocol\": \"pi_n_adaptive\"",
+            "\"agreement\": true, \"validity\": true",
         ] {
             assert!(bench.contains(key), "missing {key} in:\n{bench}");
         }

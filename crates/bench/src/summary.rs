@@ -59,6 +59,7 @@ struct RunSummary {
 /// `BENCH_<exp>.json`.
 pub struct BenchSummary {
     experiment: String,
+    flags: Vec<(String, bool)>,
     runs: Vec<RunSummary>,
 }
 
@@ -68,7 +69,20 @@ impl BenchSummary {
     pub fn new(experiment: &str) -> Self {
         Self {
             experiment: experiment.to_owned(),
+            flags: Vec::new(),
             runs: Vec::new(),
+        }
+    }
+
+    /// Sets a top-level boolean verdict field (e.g.
+    /// `"f0_beats_worst_case"`), emitted right after the claim line so
+    /// gating tooling can grep for `"<name>": true`. Setting the same
+    /// name again overwrites the previous value.
+    pub fn set_flag(&mut self, name: &str, value: bool) {
+        if let Some(f) = self.flags.iter_mut().find(|(k, _)| k == name) {
+            f.1 = value;
+        } else {
+            self.flags.push((name.to_owned(), value));
         }
     }
 
@@ -277,6 +291,9 @@ impl BenchSummary {
                 "BITS = l*n + kappa*n^2*ceil(log2 n)^2; ROUNDS = n*ceil(log2 n); constant 1"
             )
         ));
+        for (name, value) in &self.flags {
+            json.push_str(&format!("  {}: {},\n", json_string(name), value));
+        }
         json.push_str("  \"runs\": [");
         for (i, run) in self.runs.iter().enumerate() {
             json.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -428,5 +445,16 @@ mod tests {
     fn empty_summary_renders() {
         let json = BenchSummary::new("void").to_json();
         assert!(json.contains("\"runs\": []"));
+    }
+
+    #[test]
+    fn flags_render_at_top_level_and_overwrite() {
+        let mut s = BenchSummary::new("a1");
+        s.set_flag("f0_beats_worst_case", false);
+        s.set_flag("f0_beats_worst_case", true);
+        let json = s.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"f0_beats_worst_case\": true"));
+        assert!(!json.contains("\"f0_beats_worst_case\": false"));
     }
 }

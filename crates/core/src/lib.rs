@@ -54,6 +54,7 @@
 //! assert!(*outputs[0] <= Int::from_i64(-1003));               //   validity
 //! ```
 
+mod adaptive;
 mod approx;
 mod baseline;
 mod convex;
@@ -65,6 +66,7 @@ mod pi_n;
 mod pi_z;
 mod steps;
 
+pub use adaptive::{pi_n_adaptive, FastPathConfig};
 pub use approx::approx_agreement;
 pub use baseline::{broadcast_ca, broadcast_ca_parallel};
 pub use convex::{check_agreement, check_convex_validity, convex_hull};

@@ -60,8 +60,9 @@ pub fn pi_n(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
 }
 
 /// `Π_ℕ` proper, inside the `pi_n` scope (split out so the input/decide
-/// trace events bracket every return path).
-fn pi_n_body(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
+/// trace events bracket every return path; also the worst-case fallback
+/// of [`crate::pi_n_adaptive`], which brackets it with its own events).
+pub(crate) fn pi_n_body(ctx: &mut dyn Comm, v_in: &Nat, ba: BaKind) -> Nat {
     let n = ctx.n();
     let n2 = n * n;
 

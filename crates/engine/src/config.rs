@@ -1,5 +1,7 @@
 //! Engine capacity/batching policy and session arrival plans.
 
+use ca_core::FastPathConfig;
+
 use crate::SessionId;
 
 /// Capacity and batching policy of one engine deployment.
@@ -56,6 +58,11 @@ pub struct SessionSpec {
     /// Engine round at which this session arrives (ignored in closed
     /// mode). Must be non-decreasing across the plan.
     pub arrival_round: u64,
+    /// Fault-adaptive fast-path mode for this session's protocol run
+    /// (`None` = worst-case only). Part of the shared deterministic
+    /// input, like the rest of the plan: every honest party must submit
+    /// the same per-session mode or their round schedules diverge.
+    pub fast_path: Option<FastPathConfig>,
 }
 
 /// The full arrival schedule of one engine run.
@@ -81,6 +88,7 @@ impl SessionPlan {
                 .map(|id| SessionSpec {
                     id: SessionId(id),
                     arrival_round: 0,
+                    fast_path: None,
                 })
                 .collect(),
         }
@@ -96,9 +104,20 @@ impl SessionPlan {
                 .map(|(id, arrival_round)| SessionSpec {
                     id: SessionId(id),
                     arrival_round,
+                    fast_path: None,
                 })
                 .collect(),
         }
+    }
+
+    /// Enables the fault-adaptive fast path with `cfg` on every session
+    /// in the plan.
+    #[must_use]
+    pub fn with_fast_path(mut self, cfg: FastPathConfig) -> Self {
+        for s in &mut self.sessions {
+            s.fast_path = Some(cfg);
+        }
+        self
     }
 }
 
@@ -121,5 +140,13 @@ mod tests {
         assert_eq!(plan.mode, ArrivalMode::Open);
         assert_eq!(plan.sessions[1].id, SessionId(9));
         assert_eq!(plan.sessions[1].arrival_round, 2);
+        assert!(plan.sessions.iter().all(|s| s.fast_path.is_none()));
+    }
+
+    #[test]
+    fn with_fast_path_marks_every_session() {
+        let cfg = FastPathConfig::default();
+        let plan = SessionPlan::closed(3).with_fast_path(cfg);
+        assert!(plan.sessions.iter().all(|s| s.fast_path == Some(cfg)));
     }
 }

@@ -812,10 +812,12 @@ mod tests {
                 crate::SessionSpec {
                     id: SessionId(7),
                     arrival_round: 0,
+                    fast_path: None,
                 },
                 crate::SessionSpec {
                     id: SessionId(7),
                     arrival_round: 0,
+                    fast_path: None,
                 },
             ],
         };

@@ -11,7 +11,7 @@
 use ca_adversary::{Attack, LieKind};
 use ca_ba::BaKind;
 use ca_bits::{BitString, Nat};
-use ca_core::{check_agreement, check_convex_validity, pi_n};
+use ca_core::{check_agreement, check_convex_validity, pi_n, pi_n_adaptive, FastPathConfig};
 use ca_net::{max_faults, Sim};
 use ca_runtime::Clock;
 use rand::rngs::SmallRng;
@@ -44,6 +44,9 @@ pub struct LoadProfile {
     pub seed: u64,
     /// Engine capacity/batching policy.
     pub config: EngineConfig,
+    /// Fault-adaptive fast-path mode applied to every session (`None` =
+    /// worst-case protocol only).
+    pub fast_path: Option<FastPathConfig>,
 }
 
 impl LoadProfile {
@@ -62,6 +65,7 @@ impl LoadProfile {
             ba: BaKind::default(),
             seed: 0xCA_10AD,
             config: EngineConfig::default(),
+            fast_path: None,
         }
     }
 }
@@ -171,11 +175,15 @@ pub fn session_inputs(
 /// The arrival plan a profile describes.
 #[must_use]
 pub fn plan_of(profile: &LoadProfile) -> SessionPlan {
-    match profile.mode {
+    let plan = match profile.mode {
         ArrivalMode::Closed => SessionPlan::closed(profile.sessions),
         ArrivalMode::Open => SessionPlan::open(
             (0..profile.sessions as u64).map(|i| (i, i * profile.arrival_interval)),
         ),
+    };
+    match profile.fast_path {
+        Some(cfg) => plan.with_fast_path(cfg),
+        None => plan,
     }
 }
 
@@ -203,11 +211,19 @@ fn run_load_seeded(profile: &LoadProfile, seed: u64) -> LoadReport {
         })
         .collect();
 
+    let modes: std::collections::BTreeMap<u64, Option<FastPathConfig>> = plan
+        .sessions
+        .iter()
+        .map(|s| (s.id.0, s.fast_path))
+        .collect();
     let sim = profile.attack.install(Sim::new(n), n, t);
     let report = sim.run(|ctx, _id| {
         run_engine_party(ctx, &plan, &profile.config, |sctx, sid| {
             let input = inputs[sid.0 as usize][sctx.me().index()].clone();
-            pi_n(sctx, &input, profile.ba)
+            match modes.get(&sid.0).copied().flatten() {
+                Some(cfg) => pi_n_adaptive(sctx, &input, profile.ba, cfg),
+                None => pi_n(sctx, &input, profile.ba),
+            }
         })
     });
 
@@ -312,6 +328,39 @@ mod tests {
             profile.attack = Attack::new(kind).with_seed(11);
             let report = run_load(&profile);
             assert_eq!(report.sessions_decided, 4, "{kind:?}");
+            assert!(report.agreement && report.validity, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sessions_decide_correctly_and_cheaper() {
+        let mut adaptive = LoadProfile::closed(4, 4, 48);
+        adaptive.spread_bits = 0; // unanimous inputs: fast path certifies
+        adaptive.fast_path = Some(FastPathConfig::default());
+        let fast = run_load(&adaptive);
+        assert_eq!(fast.sessions_decided, 4);
+        assert!(fast.agreement && fast.validity);
+
+        let mut worst = adaptive.clone();
+        worst.fast_path = None;
+        let slow = run_load(&worst);
+        assert!(slow.agreement && slow.validity);
+        assert!(
+            fast.payload_bits * 2 <= slow.payload_bits,
+            "adaptive {} bits vs worst-case {}",
+            fast.payload_bits,
+            slow.payload_bits
+        );
+    }
+
+    #[test]
+    fn adaptive_faulted_load_stays_correct() {
+        for kind in [AttackKind::Garbage, AttackKind::Crash] {
+            let mut profile = LoadProfile::closed(4, 3, 40);
+            profile.attack = Attack::new(kind).with_seed(13);
+            profile.fast_path = Some(FastPathConfig::default());
+            let report = run_load(&profile);
+            assert_eq!(report.sessions_decided, 3, "{kind:?}");
             assert!(report.agreement && report.validity, "{kind:?}");
         }
     }

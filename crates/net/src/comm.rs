@@ -5,6 +5,39 @@ use ca_codec::Encode;
 
 use crate::{Inbox, PartyId};
 
+/// A transport's running estimate of how many parties are actually
+/// misbehaving, fed to adaptive protocols (the `f`-adaptive fast path in
+/// `ca-core`) so they can size their optimism to observed reality rather
+/// than the worst-case budget `t`.
+///
+/// The estimate is *local* and *monotone pessimistic*: it only ever counts
+/// parties this transport has concrete evidence against (stopped streams,
+/// queue-overflow disconnects). A byzantine party that lies politely is
+/// invisible here — adaptive protocols must therefore treat the estimate as
+/// advisory and certify any shortcut with an agreement sub-protocol before
+/// acting on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultEstimate {
+    /// Parties that have gone silent (EOF, never connected).
+    pub silent: usize,
+    /// Parties with active evidence of misbehavior (e.g. flooding until
+    /// the transport cut them off).
+    pub suspected: usize,
+}
+
+impl FaultEstimate {
+    /// Total observed faults: silent plus actively suspected parties.
+    pub fn observed(&self) -> usize {
+        self.silent + self.suspected
+    }
+
+    /// Whether the observed fault count is within `budget` — the gate an
+    /// adaptive protocol checks before proposing its fast path.
+    pub fn within(&self, budget: usize) -> bool {
+        self.observed() <= budget
+    }
+}
+
 /// A party's view of the synchronous network (paper §2).
 ///
 /// Protocol functions take `&mut dyn Comm`, which lets the same code run on
@@ -54,6 +87,17 @@ pub trait Comm {
     /// liveness notion (the simulator) report no one.
     fn silent_parties(&self) -> Vec<PartyId> {
         Vec::new()
+    }
+
+    /// This transport's current [`FaultEstimate`]. The default derives it
+    /// entirely from [`Comm::silent_parties`]; transports with richer
+    /// misbehavior evidence (the TCP runtime's overflow disconnects)
+    /// override it to split silent from suspected parties.
+    fn fault_estimate(&self) -> FaultEstimate {
+        FaultEstimate {
+            silent: self.silent_parties().len(),
+            suspected: 0,
+        }
     }
 
     /// Whether a trace sink is attached and recording. Instrumentation
@@ -122,6 +166,25 @@ pub trait CommExt: Comm {
     fn trace_decide(&mut self, render: impl FnOnce() -> String) {
         if self.trace_enabled() {
             self.trace(ca_trace::Event::Decide { value: render() });
+        }
+    }
+
+    /// Traces a fast-path decision (lazily rendered). The rendered value
+    /// must equal the one passed to [`CommExt::trace_decide`] in the same
+    /// scope — the `fast-path-agreement` trace invariant checks it.
+    fn trace_fast_path(&mut self, render: impl FnOnce() -> String) {
+        if self.trace_enabled() {
+            self.trace(ca_trace::Event::FastPathTaken { value: render() });
+        }
+    }
+
+    /// Traces abandonment of the fast path with a short machine-readable
+    /// reason (e.g. `"incomplete"`, `"mismatch"`, `"ba-rejected"`).
+    fn trace_fallback(&mut self, reason: &str) {
+        if self.trace_enabled() {
+            self.trace(ca_trace::Event::FallbackTriggered {
+                reason: reason.to_owned(),
+            });
         }
     }
 

@@ -47,7 +47,7 @@ pub use adversary::{Adversary, RoundActions, RoundView, SendSpec, Silent};
 // `Metrics` and `Sim::with_trace` (and render values for the `CommExt`
 // trace helpers) without a separate `ca-trace` import.
 pub use ca_trace::{compact_debug, Histogram, TraceSink};
-pub use comm::{Comm, CommExt};
+pub use comm::{Comm, CommExt, FaultEstimate};
 pub use inbox::Inbox;
 pub use metrics::{Metrics, ScopeMetrics};
 pub use parallel::run_parallel;

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use ca_codec::{Decode, Encode};
-use ca_net::{Comm, Inbox, PartyId};
+use ca_net::{Comm, FaultEstimate, Inbox, PartyId};
 use ca_trace::{Event as TraceEvent, Histogram, NullSink, Record, TraceSink, ROOT_SCOPE};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
@@ -179,6 +179,9 @@ pub struct TcpParty {
     eor: Vec<u64>,
     /// Peers whose stream ended or who were cut off.
     gone: Vec<bool>,
+    /// Subset of `gone` cut off for active misbehavior (queue overflow)
+    /// rather than mere silence; feeds [`Comm::fault_estimate`].
+    suspected: Vec<bool>,
     /// Scripted misbehavior for this party (empty by default).
     fault: FaultPlan,
     /// Set once the fault plan's crash round is reached.
@@ -362,6 +365,7 @@ impl TcpParty {
                 g[me.index()] = true; // never wait on ourselves
                 g
             },
+            suspected: vec![false; n],
             fault: FaultPlan::default(),
             crashed: false,
             stats,
@@ -432,6 +436,7 @@ impl TcpParty {
             return;
         }
         self.gone[peer] = true;
+        self.suspected[peer] = reason == "overflow";
         self.stats.peers_gone.fetch_add(1, Ordering::Relaxed);
         if self.sink.enabled() {
             self.emit(TraceEvent::PeerGone {
@@ -685,6 +690,21 @@ impl Comm for TcpParty {
             .filter(|&p| p != self.me.index() && self.gone[p])
             .map(PartyId)
             .collect()
+    }
+
+    fn fault_estimate(&self) -> FaultEstimate {
+        let mut est = FaultEstimate::default();
+        for p in 0..self.n {
+            if p == self.me.index() || !self.gone[p] {
+                continue;
+            }
+            if self.suspected[p] {
+                est.suspected += 1;
+            } else {
+                est.silent += 1;
+            }
+        }
+        est
     }
 
     fn trace_enabled(&self) -> bool {

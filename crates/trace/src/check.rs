@@ -26,9 +26,17 @@
 //!    input too large for `i128` makes that scope's hull unknown and
 //!    disables the check there — a hull missing an endpoint must not
 //!    fire on correct runs.
+//! 6. **fast-path** — the adaptive fast path must not weaken either
+//!    guarantee: every honest `FastPathTaken` value that renders as a
+//!    decimal integer lies inside the honest-input hull of its scope
+//!    (`fast-path-in-hull`), a fast decider's `Decide` in the same scope
+//!    equals its `FastPathTaken` value, and in any scope where at least
+//!    one honest party took the fast path *all* honest `Decide` values
+//!    are identical — parties that decided via different paths must have
+//!    decided the same value (`fast-path-agreement`).
 //!
 //! Parties with a `FaultInjected` event anywhere in the trace are
-//! excluded from invariants 3–5: corrupted parties may do anything.
+//! excluded from invariants 3–6: corrupted parties may do anything.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -76,6 +84,7 @@ pub fn check(records: &[Record]) -> Vec<Violation> {
     check_scope_stacks(records, &faulted, &mut out);
     check_sends_in_scope(records, &faulted, &mut out);
     check_decides_in_hull(records, &faulted, &mut out);
+    check_fast_path(records, &faulted, &mut out);
     out.sort_by_key(|v| v.index);
     out
 }
@@ -218,13 +227,16 @@ fn check_sends_in_scope(records: &[Record], faulted: &BTreeSet<u64>, out: &mut V
     }
 }
 
-fn check_decides_in_hull(records: &[Record], faulted: &BTreeSet<u64>, out: &mut Vec<Violation>) {
-    // Hull of honest inputs, per scope path: protocols report Input and
-    // Decide under the same scope, and separate protocol instances in
-    // one trace (e.g. `pi_n` then a baseline) must not mix hulls.
-    // `None` marks a scope whose hull is unknown: some honest input was
-    // decimal but exceeded i128 (arbitrary-size `Nat` runs), so checking
-    // against the remaining endpoints would produce false violations.
+/// Hull of honest inputs, per scope path: protocols report `Input` and
+/// `Decide` under the same scope, and separate protocol instances in
+/// one trace (e.g. `pi_n` then a baseline) must not mix hulls.
+/// `None` marks a scope whose hull is unknown: some honest input was
+/// decimal but exceeded i128 (arbitrary-size `Nat` runs), so checking
+/// against the remaining endpoints would produce false violations.
+fn honest_hulls<'a>(
+    records: &'a [Record],
+    faulted: &BTreeSet<u64>,
+) -> BTreeMap<&'a str, Option<(i128, i128)>> {
     let mut hulls: BTreeMap<&str, Option<(i128, i128)>> = BTreeMap::new();
     for r in records {
         let Event::Input { value } = &r.event else {
@@ -249,6 +261,11 @@ fn check_decides_in_hull(records: &[Record], faulted: &BTreeSet<u64>, out: &mut 
             (Some(_), None) => {}
         }
     }
+    hulls
+}
+
+fn check_decides_in_hull(records: &[Record], faulted: &BTreeSet<u64>, out: &mut Vec<Violation>) {
+    let hulls = honest_hulls(records, faulted);
     for (i, r) in records.iter().enumerate() {
         let Event::Decide { value } = &r.event else {
             continue;
@@ -270,6 +287,85 @@ fn check_decides_in_hull(records: &[Record], faulted: &BTreeSet<u64>, out: &mut 
                     r.scope
                 ),
             });
+        }
+    }
+}
+
+fn check_fast_path(records: &[Record], faulted: &BTreeSet<u64>, out: &mut Vec<Violation>) {
+    let hulls = honest_hulls(records, faulted);
+    // Per scope: honest fast-path markers and honest decides, in order.
+    let mut fast: BTreeMap<&str, Vec<(usize, u64, &str)>> = BTreeMap::new();
+    let mut decides: BTreeMap<&str, Vec<(usize, u64, &str)>> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let Some(p) = r.party else { continue };
+        if faulted.contains(&p) {
+            continue;
+        }
+        match &r.event {
+            Event::FastPathTaken { value } => {
+                fast.entry(r.scope.as_str())
+                    .or_default()
+                    .push((i, p, value));
+            }
+            Event::Decide { value } => {
+                decides
+                    .entry(r.scope.as_str())
+                    .or_default()
+                    .push((i, p, value));
+            }
+            _ => {}
+        }
+    }
+    for (scope, markers) in &fast {
+        // A fast-path decide is still a decide: it must sit inside the
+        // scope's honest-input hull (when both render as decimals).
+        for &(i, p, value) in markers {
+            if let (Some(v), Some(&Some((lo, hi)))) = (parse_decimal(value), hulls.get(scope)) {
+                if v < lo || v > hi {
+                    out.push(Violation {
+                        index: i,
+                        rule: "fast-path-in-hull",
+                        message: format!(
+                            "P{p} took the fast path with {v} in scope `{scope}`, \
+                             outside honest input hull [{lo}, {hi}]"
+                        ),
+                    });
+                }
+            }
+        }
+        let Some(scope_decides) = decides.get(scope) else {
+            continue;
+        };
+        // A fast decider's own decide must be the certified value.
+        for &(i, p, value) in markers {
+            if let Some(&(_, _, decided)) = scope_decides.iter().find(|&&(_, q, _)| q == p) {
+                if decided != value {
+                    out.push(Violation {
+                        index: i,
+                        rule: "fast-path-agreement",
+                        message: format!(
+                            "P{p} took the fast path with `{value}` in scope `{scope}` \
+                             but decided `{decided}`"
+                        ),
+                    });
+                }
+            }
+        }
+        // Someone took the fast path in this scope, so every honest party
+        // that decided here — via either path — must have decided the
+        // same value.
+        let &(_, first_party, reference) = &scope_decides[0];
+        for &(i, p, value) in &scope_decides[1..] {
+            if value != reference {
+                out.push(Violation {
+                    index: i,
+                    rule: "fast-path-agreement",
+                    message: format!(
+                        "P{p} decided `{value}` in scope `{scope}` but P{first_party} \
+                         decided `{reference}` via a different path"
+                    ),
+                });
+            }
         }
     }
 }
@@ -518,6 +614,143 @@ mod tests {
         let v = check(&trace);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "decide-in-hull");
+    }
+
+    fn input(p: u64, scope: &str, value: &str) -> Record {
+        r(
+            Some(p),
+            1,
+            scope,
+            Event::Input {
+                value: value.to_owned(),
+            },
+        )
+    }
+
+    fn decide(p: u64, scope: &str, value: &str) -> Record {
+        r(
+            Some(p),
+            9,
+            scope,
+            Event::Decide {
+                value: value.to_owned(),
+            },
+        )
+    }
+
+    fn fast(p: u64, scope: &str, value: &str) -> Record {
+        r(
+            Some(p),
+            9,
+            scope,
+            Event::FastPathTaken {
+                value: value.to_owned(),
+            },
+        )
+    }
+
+    #[test]
+    fn fast_path_decide_in_hull_passes() {
+        let trace = vec![
+            input(0, "adaptive", "3"),
+            input(1, "adaptive", "7"),
+            fast(0, "adaptive", "5"),
+            decide(0, "adaptive", "5"),
+            fast(1, "adaptive", "5"),
+            decide(1, "adaptive", "5"),
+        ];
+        assert_eq!(check(&trace), vec![]);
+    }
+
+    #[test]
+    fn fast_path_escape_from_hull_fires() {
+        let trace = vec![
+            input(0, "adaptive", "3"),
+            input(1, "adaptive", "7"),
+            fast(0, "adaptive", "9"),
+            decide(0, "adaptive", "9"),
+        ];
+        let v = check(&trace);
+        assert!(
+            v.iter().any(|v| v.rule == "fast-path-in-hull"),
+            "missing fast-path-in-hull in {v:?}"
+        );
+        // The ordinary decide-in-hull fires on the matching decide too.
+        assert!(v.iter().any(|v| v.rule == "decide-in-hull"), "{v:?}");
+    }
+
+    #[test]
+    fn cross_path_disagreement_fires() {
+        // P0 decides 5 via the fast path; P1 fell back and decided 6:
+        // different paths must still agree.
+        let trace = vec![
+            input(0, "adaptive", "3"),
+            input(1, "adaptive", "7"),
+            fast(0, "adaptive", "5"),
+            decide(0, "adaptive", "5"),
+            r(
+                Some(1),
+                5,
+                "adaptive",
+                Event::FallbackTriggered {
+                    reason: "mismatch".to_owned(),
+                },
+            ),
+            decide(1, "adaptive", "6"),
+        ];
+        let v = check(&trace);
+        assert!(
+            v.iter().any(|v| v.rule == "fast-path-agreement"),
+            "missing fast-path-agreement in {v:?}"
+        );
+    }
+
+    #[test]
+    fn fast_marker_must_match_own_decide() {
+        let trace = vec![
+            input(0, "adaptive", "3"),
+            input(1, "adaptive", "7"),
+            fast(0, "adaptive", "5"),
+            decide(0, "adaptive", "4"),
+        ];
+        let v = check(&trace);
+        assert!(
+            v.iter().any(|v| v.rule == "fast-path-agreement"),
+            "missing fast-path-agreement in {v:?}"
+        );
+    }
+
+    #[test]
+    fn faulted_fast_path_is_exempt() {
+        let trace = vec![
+            input(0, "adaptive", "3"),
+            input(1, "adaptive", "7"),
+            r(
+                Some(2),
+                1,
+                ROOT_SCOPE,
+                Event::FaultInjected {
+                    strategy: "scripted".to_owned(),
+                },
+            ),
+            fast(2, "adaptive", "999"),
+            decide(2, "adaptive", "0"),
+        ];
+        assert_eq!(check(&trace), vec![]);
+    }
+
+    #[test]
+    fn fallback_only_scope_keeps_plain_agreement_semantics() {
+        // Without any fast-path marker the new rule stays silent even if
+        // decides differ (plain per-scope agreement is a protocol-level
+        // property; the trace invariant only binds cross-path decides).
+        let trace = vec![
+            input(0, "adaptive", "3"),
+            input(1, "adaptive", "7"),
+            decide(0, "adaptive", "4"),
+            decide(1, "adaptive", "5"),
+        ];
+        assert_eq!(check(&trace), vec![]);
     }
 
     #[test]

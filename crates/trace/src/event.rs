@@ -49,6 +49,24 @@ pub enum Event {
         /// Rendered decided value.
         value: String,
     },
+    /// The stamped party decided via the optimistic fast path: the value
+    /// was certified by the fast-path confirmation BA without running the
+    /// full worst-case protocol. A fast-path decide is still subject to
+    /// convex validity — `ca-trace check` holds it against the same
+    /// honest-input hull as a regular [`Event::Decide`].
+    FastPathTaken {
+        /// Rendered fast-path value (equals the scope's decided value).
+        value: String,
+    },
+    /// The stamped party abandoned the fast path and fell back to the
+    /// full worst-case protocol: observed misbehavior (missing values,
+    /// digest mismatch, transport fault evidence) exceeded the fast-path
+    /// budget, or the confirmation BA rejected the optimistic round.
+    FallbackTriggered {
+        /// Why the fast path was abandoned (e.g. `"incomplete"`,
+        /// `"mismatch"`, `"ba-rejected"`, `"fault-estimate"`).
+        reason: String,
+    },
     /// The stamped party fell under adversary control.
     FaultInjected {
         /// Corruption mode or strategy name.
@@ -87,6 +105,8 @@ impl Event {
             Event::Deliver { .. } => "deliver",
             Event::Input { .. } => "input",
             Event::Decide { .. } => "decide",
+            Event::FastPathTaken { .. } => "fast_path",
+            Event::FallbackTriggered { .. } => "fallback",
             Event::FaultInjected { .. } => "fault",
             Event::PeerGone { .. } => "peer_gone",
             Event::Note { .. } => "note",
@@ -154,7 +174,10 @@ impl Record {
                 field("from", &from.to_string(), false);
                 field("bytes", &bytes.to_string(), false);
             }
-            Event::Input { value } | Event::Decide { value } => field("value", value, true),
+            Event::Input { value } | Event::Decide { value } | Event::FastPathTaken { value } => {
+                field("value", value, true);
+            }
+            Event::FallbackTriggered { reason } => field("reason", reason, true),
             Event::FaultInjected { strategy } => field("strategy", strategy, true),
             Event::PeerGone { peer, reason } => {
                 field("peer", &peer.to_string(), false);
@@ -206,6 +229,12 @@ impl Record {
             "decide" => Event::Decide {
                 value: obj.str("value")?.to_owned(),
             },
+            "fast_path" => Event::FastPathTaken {
+                value: obj.str("value")?.to_owned(),
+            },
+            "fallback" => Event::FallbackTriggered {
+                reason: obj.str("reason")?.to_owned(),
+            },
             "fault" => Event::FaultInjected {
                 strategy: obj.str("strategy")?.to_owned(),
             },
@@ -240,7 +269,10 @@ impl fmt::Display for Record {
             Event::ScopeEnter { name } | Event::ScopeExit { name } => write!(f, " {name}"),
             Event::Send { to, bytes } => write!(f, " to=P{to} bytes={bytes}"),
             Event::Deliver { from, bytes } => write!(f, " from=P{from} bytes={bytes}"),
-            Event::Input { value } | Event::Decide { value } => write!(f, " value={value}"),
+            Event::Input { value } | Event::Decide { value } | Event::FastPathTaken { value } => {
+                write!(f, " value={value}")
+            }
+            Event::FallbackTriggered { reason } => write!(f, " reason={reason}"),
             Event::FaultInjected { strategy } => write!(f, " strategy={strategy}"),
             Event::PeerGone { peer, reason } => write!(f, " peer=P{peer} reason={reason}"),
             Event::Note { label, value } => write!(f, " {label}={value}"),
@@ -317,6 +349,12 @@ mod tests {
             },
             Event::Decide {
                 value: "99".to_owned(),
+            },
+            Event::FastPathTaken {
+                value: "99".to_owned(),
+            },
+            Event::FallbackTriggered {
+                reason: "mismatch".to_owned(),
             },
             Event::FaultInjected {
                 strategy: "scripted".to_owned(),

@@ -161,3 +161,113 @@ fn cluster_decides_with_one_party_crashed_and_traces_deterministically() {
 
     std::fs::remove_dir_all(&base).ok();
 }
+
+/// Adversarial conformance of the fault-adaptive `Π_ℕ`: the
+/// [`Attack::conformance_suite`] schedules are aimed squarely at an
+/// optimistic fast path — misbehave exactly at the budget (`f = t` from
+/// round 0), look clean then crash, or start faulting late — and under
+/// every one of them the adaptive protocol must decide exactly what the
+/// worst-case-only protocol decides, with traces that pass `ca-trace
+/// check` and are byte-deterministic across reruns.
+mod fast_path_conformance {
+    use std::sync::Arc;
+
+    use convex_agreement::adversary::Attack;
+    use convex_agreement::ba::BaKind;
+    use convex_agreement::bits::Nat;
+    use convex_agreement::core::{pi_n_adaptive, FastPathConfig};
+    use convex_agreement::net::{max_faults, Sim};
+    use convex_agreement::trace::{
+        check, first_divergence, Event, Record, RingBufferSink, TraceSink,
+    };
+
+    const CN: usize = 7;
+    const UNANIMOUS: u64 = 4242;
+
+    /// Runs `pi_n_adaptive` at `n = 7`, `f = t` with unanimous honest
+    /// inputs under `attack`; returns honest outputs plus the full trace.
+    fn traced_adaptive(attack: Attack, cfg: FastPathConfig) -> (Vec<Nat>, Vec<Record>) {
+        let t = max_faults(CN);
+        let sink = Arc::new(RingBufferSink::new(8_000_000));
+        let report = attack
+            .install(Sim::new(CN), CN, t)
+            .with_trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .run(move |ctx, _| {
+                pi_n_adaptive(ctx, &Nat::from_u64(UNANIMOUS), BaKind::TurpinCoan, cfg)
+            });
+        let outs = report.honest_outputs().into_iter().cloned().collect();
+        let records = sink.records();
+        assert_eq!(sink.total_seen() as usize, records.len(), "ring wrapped");
+        (outs, records)
+    }
+
+    fn took_fast_path(records: &[Record]) -> bool {
+        records
+            .iter()
+            .any(|r| matches!(r.event, Event::FastPathTaken { .. }))
+    }
+
+    #[test]
+    fn conformance_suite_agrees_across_paths_with_clean_deterministic_traces() {
+        let t = max_faults(CN);
+        let mut fallback_runs = 0usize;
+        for attack in Attack::conformance_suite(17) {
+            // Honest parties are unanimous, so the honest hull is a single
+            // point: whichever path each run takes, the only correct
+            // decision is the unanimous input.
+            let (outs, records) = traced_adaptive(attack, FastPathConfig::default());
+            assert_eq!(
+                outs,
+                vec![Nat::from_u64(UNANIMOUS); CN - t],
+                "wrong decisions [{}]",
+                attack.name()
+            );
+
+            // Cross-path agreement: a run with the fast path disabled
+            // (pure worst-case protocol) decides the identical value.
+            let disabled = FastPathConfig {
+                enabled: false,
+                ..FastPathConfig::default()
+            };
+            let (slow_outs, _) = traced_adaptive(attack, disabled);
+            assert_eq!(
+                outs,
+                slow_outs,
+                "cross-path disagreement [{}]",
+                attack.name()
+            );
+
+            // Every trace invariant holds under attack — including the
+            // fast-path hull and cross-path agreement rules.
+            let violations = check(&records);
+            assert!(violations.is_empty(), "[{}] {violations:?}", attack.name());
+
+            // Byte-determinism: an identical rerun reproduces the trace
+            // down to the JSONL byte.
+            let (outs_b, records_b) = traced_adaptive(attack, FastPathConfig::default());
+            assert_eq!(outs, outs_b, "[{}]", attack.name());
+            assert!(
+                first_divergence(&records, &records_b).is_none(),
+                "nondeterministic trace [{}]",
+                attack.name()
+            );
+            let jsonl = |rs: &[Record]| {
+                rs.iter()
+                    .map(Record::to_jsonl)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(jsonl(&records), jsonl(&records_b), "[{}]", attack.name());
+
+            if !took_fast_path(&records) {
+                fallback_runs += 1;
+            }
+        }
+        // The matrix must exercise the certified fallback: a crash from
+        // round 0 leaves every offer round incomplete.
+        assert!(
+            fallback_runs > 0,
+            "no conformance attack forced the fallback"
+        );
+    }
+}

@@ -10,7 +10,9 @@ use convex_agreement::ba::BaKind;
 use convex_agreement::bits::Int;
 use convex_agreement::core::pi_z;
 use convex_agreement::net::Sim;
-use convex_agreement::trace::{check, first_divergence, Record, RingBufferSink, TraceSink};
+use convex_agreement::trace::{
+    check, first_divergence, read_jsonl, Record, RingBufferSink, TraceSink,
+};
 use proptest::prelude::*;
 
 /// Runs `Π_ℤ` on `inputs` under `attack` with tracing and returns the
@@ -122,6 +124,35 @@ fn diff_separates_adversary_strategies() {
     // Both runs fault the same scripted parties, so the FaultInjected
     // prefix is shared and the divergence is actual adversary traffic.
     assert!(div.index > 0, "the fault-injection prefix must be shared");
+}
+
+/// A hand-crafted timeline in which every party certifies a fast-path
+/// value *outside* the honest-input hull (inputs 3..7, certified value 9):
+/// `ca-trace check` must reject it via the `fast-path-in-hull` rule, and
+/// the matching `Decide` records independently trip the ordinary
+/// `decide-in-hull` rule. No well-formedness rule may fire — the fixture
+/// is a structurally valid trace whose *protocol claim* is wrong.
+#[test]
+fn fixture_fast_path_escape_is_rejected() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/fast_path_escape.jsonl");
+    let records = read_jsonl(&path).expect("fixture parses as JSONL trace records");
+    assert!(!records.is_empty());
+    let violations = check(&records);
+    assert!(
+        violations.iter().any(|v| v.rule == "fast-path-in-hull"),
+        "fast-path escape must be caught: {violations:?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == "decide-in-hull"),
+        "the matching decides sit outside the hull too: {violations:?}"
+    );
+    for v in &violations {
+        assert!(
+            matches!(v.rule, "fast-path-in-hull" | "decide-in-hull"),
+            "fixture must be well-formed apart from the hull escape: {v}"
+        );
+    }
 }
 
 /// Tracing is observation-only: a run with a sink attached reports
