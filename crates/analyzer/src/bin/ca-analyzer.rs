@@ -3,7 +3,16 @@
 //! ```text
 //! ca-analyzer [--root <path>] [--rule <name>] [--deny] [--json]
 //!             [--include-shims] [--list-rules]
+//!             [--deep] [--baseline <path>] [--write-baseline <path>]
+//!             [--emit human|json]
 //! ```
+//!
+//! `--deep` adds the semantic workspace passes (wire-taint,
+//! comm-budget, concurrency-discipline) on top of the token rules.
+//! `--baseline` diffs the send-site budget table against a committed
+//! `analyzer-baseline.json`; `--write-baseline` regenerates it (use
+//! `scripts/update-baseline.sh`). `--emit json` is the stable
+//! machine-readable output for CI diffing (`--json` is its alias).
 //!
 //! Exit codes: `0` clean (or warnings without `--deny`), `1` findings
 //! that fail the gate, `2` usage error.
@@ -11,7 +20,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ca_analyzer::{all_rules, analyze_workspace, Options, Severity};
+use ca_analyzer::{
+    all_rules, analyze_workspace, collect_sources, run_semantic, BudgetTable, Options,
+    SemanticConfig, Severity,
+};
 
 struct Cli {
     root: PathBuf,
@@ -19,6 +31,9 @@ struct Cli {
     deny: bool,
     json: bool,
     list_rules: bool,
+    deep: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -28,6 +43,9 @@ fn parse_args() -> Result<Cli, String> {
         deny: false,
         json: false,
         list_rules: false,
+        deep: false,
+        baseline: None,
+        write_baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,20 +67,67 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--deny" => cli.deny = true,
             "--json" => cli.json = true,
+            "--emit" => {
+                let mode = args
+                    .next()
+                    .ok_or_else(|| "--emit requires `human` or `json`".to_owned())?;
+                match mode.as_str() {
+                    "json" => cli.json = true,
+                    "human" => cli.json = false,
+                    other => return Err(format!("unknown emit mode `{other}`")),
+                }
+            }
+            "--deep" => cli.deep = true,
+            "--baseline" => {
+                cli.baseline = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--baseline requires a path".to_owned())?,
+                ));
+            }
+            "--write-baseline" => {
+                cli.write_baseline =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        "--write-baseline requires a path".to_owned()
+                    })?));
+            }
             "--include-shims" => cli.opts.include_shims = true,
             "--list-rules" => cli.list_rules = true,
             "--help" | "-h" => {
                 println!(
                     "usage: ca-analyzer [--root <path>] [--rule <name>] [--deny] [--json] \
-                     [--include-shims] [--list-rules]"
+                     [--include-shims] [--list-rules] [--deep] [--baseline <path>] \
+                     [--write-baseline <path>] [--emit human|json]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if (cli.baseline.is_some() || cli.write_baseline.is_some()) && !cli.deep {
+        return Err("--baseline/--write-baseline require --deep".to_owned());
+    }
     Ok(cli)
 }
+
+/// The semantic rules, shown by `--list-rules` alongside the token
+/// rules (they live outside the token-rule registry).
+const SEMANTIC_RULES: &[(&str, &str, &str)] = &[
+    (
+        "wire-taint",
+        "ca-core, ca-ba, ca-net, ca-runtime, ca-engine",
+        "wire input must be decoded/validated before sizing allocations or indexing",
+    ),
+    (
+        "comm-budget",
+        "ca-core, ca-ba, ca-engine",
+        "send sites must use metered helpers, carry a round scope, and match analyzer-baseline.json",
+    ),
+    (
+        "concurrency-discipline",
+        "ca-runtime, ca-engine, ca-trace",
+        "consistent lock order, no double acquisition, no channel ops under a lock",
+    ),
+];
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -88,16 +153,56 @@ fn main() -> ExitCode {
                 rule.description
             );
         }
+        for (name, scope, desc) in SEMANTIC_RULES {
+            println!("{name:<16} {:<8} [{scope}] (--deep)\n    {desc}", "error");
+        }
         return ExitCode::SUCCESS;
     }
 
-    let diags = match analyze_workspace(&cli.root, &cli.opts) {
+    let mut diags = match analyze_workspace(&cli.root, &cli.opts) {
         Ok(diags) => diags,
         Err(msg) => {
             eprintln!("ca-analyzer: {msg}");
             return ExitCode::from(2);
         }
     };
+
+    if cli.deep {
+        let files = match collect_sources(&cli.root, &cli.opts) {
+            Ok(files) => files,
+            Err(msg) => {
+                eprintln!("ca-analyzer: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let semantic = run_semantic(&files, &SemanticConfig::production());
+        diags.extend(semantic.diags);
+        if let Some(path) = &cli.write_baseline {
+            if let Err(e) = std::fs::write(path, semantic.budget.to_json()) {
+                eprintln!("ca-analyzer: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "ca-analyzer: wrote {} send site(s) to {}",
+                semantic.budget.sites.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &cli.baseline {
+            match std::fs::read_to_string(path) {
+                Ok(body) => {
+                    diags.extend(semantic.budget.diff_against(&BudgetTable::from_json(&body)));
+                }
+                Err(e) => {
+                    eprintln!("ca-analyzer: failed to read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        diags.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+    }
 
     if cli.json {
         println!("[");

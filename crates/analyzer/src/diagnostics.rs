@@ -62,7 +62,8 @@ impl Diagnostic {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Escapes `s` as a JSON string literal (shared with the budget table).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -82,13 +83,20 @@ fn json_str(s: &str) -> String {
 
 /// Suppressions parsed from `// ca-lint: allow(rule, …)` comments.
 ///
-/// A pragma on line `L` suppresses findings of the listed rules on line
-/// `L` and line `L + 1` (so it can sit on its own line above the code or
-/// trail the code it justifies). A `//! ca-lint: allow(rule)` inner doc
-/// comment suppresses the rule for the whole file.
+/// Placement determines exactly one target line — a pragma never covers
+/// two lines:
+///
+/// - **Standalone** (the comment is the first thing on its line):
+///   suppresses findings on the *next* line only, so it sits above the
+///   code it justifies.
+/// - **Trailing** (code precedes the comment on the same line):
+///   suppresses findings on *its own* line only.
+///
+/// A `//! ca-lint: allow(rule)` inner doc comment suppresses the rule
+/// for the whole file.
 #[derive(Debug, Default)]
 pub struct Suppressions {
-    /// (rule, line) pairs that are suppressed.
+    /// (rule, target line) pairs that are suppressed.
     line_allows: Vec<(String, u32)>,
     /// Rules suppressed for the entire file.
     file_allows: Vec<String>,
@@ -101,20 +109,29 @@ impl Suppressions {
     #[must_use]
     pub fn collect(tokens: &[Token<'_>]) -> Self {
         let mut out = Self::default();
+        let mut last_code_line = 0u32;
         for tok in tokens {
             if tok.kind != TokenKind::LineComment && tok.kind != TokenKind::BlockComment {
+                last_code_line = tok.line;
                 continue;
             }
             let Some(rules) = parse_pragma(tok.text) else {
                 continue;
             };
             let file_wide = tok.text.starts_with("//!");
+            // Trailing pragmas share a line with code; standalone ones
+            // lead their line and apply to the following line instead.
+            let target = if last_code_line == tok.line {
+                tok.line
+            } else {
+                tok.line.saturating_add(1)
+            };
             for rule in rules {
                 if file_wide {
                     out.file_allows.push(rule);
                 } else {
                     out.pragma_lines.push((rule.clone(), tok.line));
-                    out.line_allows.push((rule, tok.line));
+                    out.line_allows.push((rule, target));
                 }
             }
         }
@@ -128,7 +145,7 @@ impl Suppressions {
             || self
                 .line_allows
                 .iter()
-                .any(|(r, l)| r == rule && (*l == line || l.saturating_add(1) == line))
+                .any(|(r, l)| r == rule && *l == line)
     }
 }
 
@@ -158,20 +175,32 @@ mod tests {
     use crate::lexer::lex;
 
     #[test]
-    fn pragma_suppresses_same_and_next_line() {
+    fn standalone_pragma_suppresses_next_line_only() {
         let src = "// ca-lint: allow(panic-path) — len checked above\nlet x = v.unwrap();\n";
         let sup = Suppressions::collect(&lex(src));
-        assert!(sup.allows("panic-path", 1));
+        assert!(!sup.allows("panic-path", 1));
         assert!(sup.allows("panic-path", 2));
         assert!(!sup.allows("panic-path", 3));
         assert!(!sup.allows("nondeterminism", 2));
     }
 
     #[test]
-    fn trailing_pragma_suppresses_its_own_line() {
-        let src = "let x = v.unwrap(); // ca-lint: allow(panic-path) — invariant\n";
+    fn trailing_pragma_suppresses_its_own_line_only() {
+        let src = "let a = 0;\nlet x = v.unwrap(); // ca-lint: allow(panic-path) — invariant\nlet y = w.unwrap();\n";
+        let sup = Suppressions::collect(&lex(src));
+        assert!(sup.allows("panic-path", 2));
+        assert!(!sup.allows("panic-path", 3));
+    }
+
+    #[test]
+    fn pragma_never_leaks_two_lines_down() {
+        // Regression: the old semantics accepted L or L+1 for every
+        // pragma, letting a trailing pragma leak to the line below it.
+        let src = "let x = v.unwrap(); // ca-lint: allow(panic-path)\nlet y = w.unwrap();\nlet z = u.unwrap();\n";
         let sup = Suppressions::collect(&lex(src));
         assert!(sup.allows("panic-path", 1));
+        assert!(!sup.allows("panic-path", 2));
+        assert!(!sup.allows("panic-path", 3));
     }
 
     #[test]

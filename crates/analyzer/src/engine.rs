@@ -52,6 +52,42 @@ pub fn analyze_workspace(root: &Path, opts: &Options) -> Result<Vec<Diagnostic>,
     Ok(diags)
 }
 
+/// Loads every Rust source file under `root` as [`SourceFile`]s for the
+/// semantic passes, using the same walk (and ordering) as
+/// [`analyze_workspace`].
+///
+/// # Errors
+///
+/// Returns an error when the workspace layout cannot be read.
+pub fn collect_sources(
+    root: &Path,
+    opts: &Options,
+) -> Result<Vec<crate::symbols::SourceFile>, String> {
+    if !root.is_dir() {
+        return Err(format!("root `{}` is not a directory", root.display()));
+    }
+    let mut files = Vec::new();
+    collect_workspace_files(root, opts, &mut files)?;
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for file in &files {
+        let src = fs::read_to_string(file)
+            .map_err(|e| format!("failed to read {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_name = crate_name_for(root, &rel);
+        out.push(crate::symbols::SourceFile {
+            crate_name,
+            path: rel,
+            src,
+        });
+    }
+    Ok(out)
+}
+
 /// Analyzes one source string. Public so fixture tests can drive a rule
 /// against a snippet without touching the filesystem.
 #[must_use]

@@ -2,7 +2,9 @@
 //! convex-agreement workspace.
 //!
 //! The analyzer enforces invariants that `rustc` and `clippy` cannot see
-//! because they are properties of *this protocol*, not of Rust:
+//! because they are properties of *this protocol*, not of Rust.
+//!
+//! Per-file token rules ([`rules`]):
 //!
 //! - **panic-path** — message-handling crates must never abort on
 //!   byzantine input (no `unwrap`/`expect`/`panic!`, no slice indexing in
@@ -17,19 +19,41 @@
 //! - **unsafe-audit** — a workspace-wide `unsafe` inventory, deny by
 //!   default.
 //!
-//! Findings are suppressed with `// ca-lint: allow(<rule>)` on the same
-//! or preceding line, or `//! ca-lint: allow(<rule>)` for a whole file —
-//! each pragma is a reviewed, greppable exception.
+//! Semantic workspace passes ([`passes`], `--deep`), built on a
+//! lightweight item parser ([`parser`]), a workspace symbol table with
+//! a call graph ([`symbols`]), and an interprocedural taint engine
+//! ([`dataflow`]):
+//!
+//! - **wire-taint** — attacker-controlled wire input must pass through
+//!   a bounds-checked decode or validation before sizing an allocation
+//!   or indexing a slice, across function and crate boundaries.
+//! - **comm-budget** — every transitive send site routes through a
+//!   metered helper, is attributable to an annotated round scope, and
+//!   matches the committed `analyzer-baseline.json` send-site table.
+//! - **concurrency-discipline** — consistent lock ordering, no double
+//!   acquisition, no channel operations while holding a lock.
+//!
+//! Findings are suppressed with `// ca-lint: allow(<rule>)` — a
+//! *standalone* pragma (first thing on its line) covers the next line
+//! only; a *trailing* pragma covers its own line only — or
+//! `//! ca-lint: allow(<rule>)` for a whole file. Each pragma is a
+//! reviewed, greppable exception.
 //!
 //! The implementation is dependency-free: a hand-rolled lexer
 //! ([`lexer`]) gives token-level (not regex) matching, so code inside
 //! comments, doc examples, and string literals never trips a rule.
 
+pub mod dataflow;
 pub mod diagnostics;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod rules;
+pub mod symbols;
 
 pub use diagnostics::{Diagnostic, Severity};
-pub use engine::{analyze_source, analyze_workspace, Options};
+pub use engine::{analyze_source, analyze_workspace, collect_sources, Options};
+pub use passes::{run_semantic, BudgetTable, SemanticConfig, SemanticOutput, SendSite};
 pub use rules::{all_rules, rule_by_name, FileContext};
+pub use symbols::{SourceFile, SymbolTable};

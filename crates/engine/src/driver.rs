@@ -313,6 +313,7 @@ struct Slot {
 ///
 /// Panics if a session body panics (with that session's panic message),
 /// or if `config` capacities are zero.
+// ca-budget: scope(engine) — the round scope is pushed via ENGINE_SCOPE, not a literal
 pub fn run_engine_party<O, F>(
     ctx: &mut dyn Comm,
     plan: &SessionPlan,
@@ -505,6 +506,7 @@ where
                         stats.batch_occupancy.record(env.frames.len() as u64);
                         stats.wire_bits += msg_wire_bits(engine_round, payload.len());
                     }
+                    // ca-budget: raw-send(envelope batcher meters wire_bits per batch above; per-frame CommExt metering would double-count)
                     ctx.send_bytes(to, Bytes::from(payload));
                     frames = rest;
                 }

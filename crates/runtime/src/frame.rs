@@ -71,6 +71,24 @@ pub fn validate_frame_len(len: u32) -> Result<usize, FrameTooLarge> {
     Ok(len)
 }
 
+/// [`validate_frame_len`] for the handshake path: same contract, but
+/// against the far tighter [`MAX_HELLO_FRAME_LEN`] bound, since an
+/// unauthenticated stray connection gets no allocation budget at all.
+///
+/// # Errors
+///
+/// [`FrameTooLarge`] when the claimed length exceeds
+/// [`MAX_HELLO_FRAME_LEN`].
+pub fn validate_hello_len(len: u32) -> Result<usize, FrameTooLarge> {
+    let len = len as usize;
+    if len > MAX_HELLO_FRAME_LEN {
+        return Err(FrameTooLarge {
+            claimed: len as u64,
+        });
+    }
+    Ok(len)
+}
+
 /// A length-prefixed frame exchanged between two parties.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {

@@ -45,8 +45,8 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cluster::{ClusterReport, TcpCluster};
 pub use fault::FaultPlan;
 pub use frame::{
-    validate_frame_len, Frame, FrameTooLarge, LENGTH_PREFIX_LEN, MAX_HELLO_FRAME_LEN,
-    MAX_WIRE_FRAME_LEN,
+    validate_frame_len, validate_hello_len, Frame, FrameTooLarge, LENGTH_PREFIX_LEN,
+    MAX_HELLO_FRAME_LEN, MAX_WIRE_FRAME_LEN,
 };
 pub use party::{EstablishOpts, RuntimeError, TcpParty};
 pub use stats::RuntimeStats;

@@ -828,10 +828,9 @@ fn remaining_budget(deadline: Duration, clock: &dyn Clock) -> Option<Duration> {
 async fn read_hello(stream: &mut TcpStream) -> Option<usize> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf).await.ok()?;
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > crate::frame::MAX_HELLO_FRAME_LEN {
-        return None;
-    }
+    // Validate the claimed length BEFORE sizing the buffer, same as the
+    // round-frame reader — a stray connection gets no allocation budget.
+    let len = crate::frame::validate_hello_len(u32::from_be_bytes(len_buf)).ok()?;
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body).await.ok()?;
     match Frame::decode_from_slice(&body) {
