@@ -67,6 +67,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "ca-core",
     "ca-ba",
     "ca-net",
+    "ca-async",
     "ca-runtime",
     "ca-engine",
 ];
@@ -87,6 +88,7 @@ const TRACED_CRATES: &[&str] = &[
     "ca-adversary",
     "ca-ba",
     "ca-core",
+    "ca-async",
     "ca-runtime",
     "ca-engine",
 ];
@@ -98,7 +100,11 @@ const TRACED_CRATES: &[&str] = &[
 /// to the same bar since the fault-adaptive fast path made them
 /// consumers of transport fault estimates: buffering between the
 /// optimistic attempt and the fallback must never be open-ended.
-const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine", "ca-runtime", "ca-core", "ca-ba"];
+/// `ca-async` joins the list because its executor queue and per-instance
+/// buffers (RBC echo/ready tallies, pending witness sets) grow with
+/// network input; every such structure must carry an explicit bound or a
+/// `ca-budget` annotation.
+const BOUNDED_QUEUE_CRATES: &[&str] = &["ca-engine", "ca-runtime", "ca-core", "ca-ba", "ca-async"];
 
 /// The full rule registry, in reporting order.
 #[must_use]

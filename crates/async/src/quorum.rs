@@ -1,0 +1,226 @@
+//! Quorum counting and the (n−t)-witness/gather primitive.
+//!
+//! Both building blocks are *order-invariant*: they expose only
+//! threshold-crossing facts ("n−t distinct parties support key k"),
+//! which are monotone in the set of received messages — the same final
+//! message set yields the same decisions regardless of arrival order.
+//! That is the property the proptests in `tests/prop_async.rs` pin down,
+//! and the reason the asynchronous protocols built on top decide
+//! identically under arbitrary seeded reorderings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counts distinct supporters per key and reports each key's threshold
+/// crossing exactly once.
+#[derive(Debug, Clone)]
+pub struct QuorumTracker<K: Ord + Clone> {
+    threshold: usize,
+    support: BTreeMap<K, BTreeSet<usize>>,
+    fired: BTreeSet<K>,
+}
+
+impl<K: Ord + Clone> QuorumTracker<K> {
+    /// A tracker that fires when `threshold` distinct parties support a key.
+    pub fn new(threshold: usize) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            support: BTreeMap::new(),
+            fired: BTreeSet::new(),
+        }
+    }
+
+    /// Records that `party` supports `key`. Returns `true` exactly when
+    /// this call brings `key` to threshold for the first time; duplicate
+    /// support from the same party never advances the count.
+    pub fn support(&mut self, key: K, party: usize) -> bool {
+        let supporters = self.support.entry(key.clone()).or_default();
+        supporters.insert(party);
+        if supporters.len() >= self.threshold && !self.fired.contains(&key) {
+            self.fired.insert(key);
+            return true;
+        }
+        false
+    }
+
+    /// Distinct supporters recorded for `key`.
+    pub fn count(&self, key: &K) -> usize {
+        self.support.get(key).map_or(0, BTreeSet::len)
+    }
+
+    /// Whether `key` has reached threshold.
+    pub fn reached(&self, key: &K) -> bool {
+        self.fired.contains(key)
+    }
+}
+
+/// What one [`WitnessGather`] step produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// `Some(set)` exactly once: our own delivered-set reached `n − t`
+    /// items and should be multicast as our witness claim.
+    pub announce: Option<Vec<usize>>,
+    /// Witness claims (by claimant id) newly accepted this step.
+    pub newly_accepted: Vec<usize>,
+    /// `true` exactly once: `n − t` witnesses accepted — the gather is
+    /// complete and the caller may act on its delivered set.
+    pub completed: bool,
+}
+
+/// The witness technique of asynchronous approximate agreement
+/// (Abraham–Amit–Dolev; Erbes–Wattenhofer): before using its first
+/// `n − t` delivered items, a party announces *which* items it saw and
+/// waits until `n − t` parties' announcements are each covered by its own
+/// delivered set. Any two honest parties then share ≥ `n − 2t ≥ t + 1`
+/// witnesses, which bounds how far their item sets can drift — the
+/// combinatorial core that lets trimmed-midpoint iteration contract.
+#[derive(Debug, Clone)]
+pub struct WitnessGather {
+    n: usize,
+    t: usize,
+    delivered: BTreeSet<usize>,
+    announced: bool,
+    /// Pending witness claims, keyed by claimant; re-checked against
+    /// `delivered` every time a new item lands.
+    pending: BTreeMap<usize, BTreeSet<usize>>,
+    accepted: BTreeSet<usize>,
+    completed: bool,
+}
+
+impl WitnessGather {
+    /// A gather over item ids `0..n` with corruption budget `t`.
+    pub fn new(n: usize, t: usize) -> Self {
+        Self {
+            n,
+            t,
+            delivered: BTreeSet::new(),
+            announced: false,
+            pending: BTreeMap::new(),
+            accepted: BTreeSet::new(),
+            completed: false,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// The item ids delivered so far.
+    pub fn delivered(&self) -> impl Iterator<Item = usize> + '_ {
+        self.delivered.iter().copied()
+    }
+
+    /// Whether the gather has completed.
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Records that item `item` (party `item`'s contribution) has been
+    /// delivered locally.
+    pub fn deliver(&mut self, item: usize) -> WitnessStep {
+        if item < self.n {
+            self.delivered.insert(item);
+        }
+        self.advance()
+    }
+
+    /// Records a witness claim from `claimant` asserting it delivered
+    /// exactly the items in `set`. Accepted once `set ⊆ delivered`.
+    pub fn on_witness(&mut self, claimant: usize, set: &[usize]) -> WitnessStep {
+        if claimant >= self.n || self.accepted.contains(&claimant) {
+            return WitnessStep::default();
+        }
+        let set: BTreeSet<usize> = set.iter().copied().filter(|i| *i < self.n).collect();
+        // A claim naming fewer than n − t items can never legitimize a
+        // quorum; ignoring it here keeps byzantine claimants from being
+        // accepted "for free" with an empty set.
+        if set.len() >= self.quorum() {
+            self.pending.insert(claimant, set);
+        }
+        self.advance()
+    }
+
+    /// Re-evaluates announcements, pending claims, and completion.
+    fn advance(&mut self) -> WitnessStep {
+        let mut step = WitnessStep::default();
+        if !self.announced && self.delivered.len() >= self.quorum() {
+            self.announced = true;
+            step.announce = Some(self.delivered.iter().copied().collect());
+        }
+        let ready: Vec<usize> = self
+            .pending
+            .iter()
+            .filter(|(_, set)| set.is_subset(&self.delivered))
+            .map(|(claimant, _)| *claimant)
+            .collect();
+        for claimant in ready {
+            self.pending.remove(&claimant);
+            self.accepted.insert(claimant);
+            step.newly_accepted.push(claimant);
+        }
+        if !self.completed && self.accepted.len() >= self.quorum() {
+            self.completed = true;
+            step.completed = true;
+        }
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_fires_once_and_dedups_supporters() {
+        let mut q = QuorumTracker::new(3);
+        assert!(!q.support("k", 0));
+        assert!(!q.support("k", 0)); // duplicate party
+        assert!(!q.support("k", 1));
+        assert_eq!(q.count(&"k"), 2);
+        assert!(q.support("k", 2)); // crossing
+        assert!(!q.support("k", 3)); // already fired
+        assert!(q.reached(&"k"));
+        assert!(!q.reached(&"other"));
+    }
+
+    #[test]
+    fn gather_announces_then_completes() {
+        // n = 4, t = 1, quorum = 3.
+        let mut g = WitnessGather::new(4, 1);
+        assert_eq!(g.deliver(0), WitnessStep::default());
+        assert_eq!(g.deliver(1), WitnessStep::default());
+        let step = g.deliver(2);
+        assert_eq!(step.announce, Some(vec![0, 1, 2]));
+        assert!(!step.completed);
+        // Witnesses covered by our delivered set are accepted immediately.
+        assert_eq!(g.on_witness(0, &[0, 1, 2]).newly_accepted, vec![0]);
+        assert_eq!(g.on_witness(1, &[0, 1, 2]).newly_accepted, vec![1]);
+        let done = g.on_witness(2, &[0, 1, 2]);
+        assert_eq!(done.newly_accepted, vec![2]);
+        assert!(done.completed);
+        assert!(g.completed());
+    }
+
+    #[test]
+    fn gather_holds_uncovered_witness_until_delivery() {
+        let mut g = WitnessGather::new(4, 1);
+        g.deliver(0);
+        g.deliver(1);
+        g.deliver(2);
+        // Claimant 3 saw item 3, which we have not delivered yet.
+        assert_eq!(g.on_witness(3, &[1, 2, 3]).newly_accepted, vec![]);
+        let step = g.deliver(3);
+        assert_eq!(step.newly_accepted, vec![3]);
+    }
+
+    #[test]
+    fn gather_rejects_undersized_and_duplicate_claims() {
+        let mut g = WitnessGather::new(4, 1);
+        g.deliver(0);
+        g.deliver(1);
+        g.deliver(2);
+        assert_eq!(g.on_witness(1, &[0, 1]).newly_accepted, vec![]); // < quorum
+        assert_eq!(g.on_witness(1, &[0, 1, 2]).newly_accepted, vec![1]);
+        assert_eq!(g.on_witness(1, &[0, 1, 2]).newly_accepted, vec![]); // dup
+        assert_eq!(g.on_witness(9, &[0, 1, 2]).newly_accepted, vec![]); // bogus id
+    }
+}

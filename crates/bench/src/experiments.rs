@@ -52,9 +52,10 @@ fn run_inner(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
         "s1" => s1_service_throughput(quick, artifacts),
         "r1" => r1_crash_resilience(quick, artifacts),
         "a1" => a1_adaptive_sweep(quick, artifacts),
+        "as1" => as1_async_vs_sync(quick, artifacts),
         "all" => {
             for id in [
-                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1", "a1",
+                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1", "a1", "as1",
             ] {
                 run_by_name_opts(id, quick, artifacts);
             }
@@ -872,6 +873,241 @@ pub fn a1_adaptive_sweep(quick: bool, artifacts: Option<&Path>) {
     }
 }
 
+/// **AS1** — synchrony-model ablation: the *same* asynchronous
+/// approximate-agreement state machine ([`ca_async::AsyncApprox`]) run
+/// under one seeded delay distribution on three hosts:
+///
+/// 1. a round-barrier simulator with Δ *tuned* to the actual maximum
+///    delay (the best case synchrony can do — every barrier still waits
+///    out the full Δ);
+/// 2. the same simulator with Δ *mistuned* in both directions — an
+///    under-estimate (messages miss their barrier, burning extra
+///    "wasted" rounds waiting on quorums) and an over-estimate (the
+///    realistic unknown-network setting, burning wall clock on every
+///    barrier);
+/// 3. the event-driven [`ca_async::Executor`] — no Δ anywhere; each
+///    protocol hop completes when its quorum's slowest message lands.
+///
+/// Wall clock is measured in the delay distribution's own time units:
+/// `rounds × Δ` for the barrier hosts, last decide virtual time for the
+/// async host. The gate `"as1_async_wins"` holds iff every run decided
+/// correctly (ε-agreement inside the hull, async trace invariant-clean)
+/// and the async host beat the mistuned baselines on their failure
+/// axes: less wall clock than the over-estimate, zero wasted rounds
+/// while the under-estimate wasted some.
+///
+/// With `artifacts` set, writes `BENCH_as1.json`.
+pub fn as1_async_vs_sync(quick: bool, artifacts: Option<&Path>) {
+    use std::sync::Arc;
+
+    use ca_async::{rounds_for_spread, run_on_comm, AsyncApprox, DeliverySchedule, Executor};
+    use ca_bits::Nat;
+    use ca_net::{DelayedSim, EdgeDelays, PartyId};
+
+    use crate::summary::AsyncRow;
+
+    let n: usize = 4;
+    let t: usize = 1;
+    let seed: u64 = 0xA51;
+    // Per-message delays are uniform in [base, base + jitter].
+    let (base, jitter) = (8u64, 8u64);
+    let max_delay = base + jitter;
+    let spread: u64 = if quick { 1_000 } else { 1_000_000 };
+    let inputs: Vec<u64> = vec![0, spread / 5, spread * 2 / 3, spread];
+    let rounds = rounds_for_spread(&Nat::from_u64(spread));
+    let delays = || EdgeDelays::uniform(seed, base, jitter);
+
+    // ε-agreement (ε = 1) plus convexity against the input hull.
+    let check = |outs: &[Nat]| -> (bool, bool) {
+        let lo = outs.iter().min().expect("nonempty");
+        let hi = outs.iter().max().expect("nonempty");
+        let agreement = hi.checked_sub(lo).expect("hi >= lo") <= Nat::one();
+        let hull_lo = Nat::from_u64(*inputs.iter().min().expect("nonempty"));
+        let hull_hi = Nat::from_u64(*inputs.iter().max().expect("nonempty"));
+        (agreement, *lo >= hull_lo && *hi <= hull_hi)
+    };
+
+    // One barrier-hosted run: the async state machine adapted onto the
+    // lock-step simulator via `run_on_comm`, messages delayed per the
+    // shared distribution and released at Δ-barriers.
+    let sync_run = |delta: u64| -> (Vec<Nat>, u64, u64, u64) {
+        let run_inputs = inputs.clone();
+        let report = DelayedSim::new(n, delays(), delta)
+            .with_max_rounds(4096)
+            .run(move |ctx, id: PartyId| {
+                let proto =
+                    AsyncApprox::new(n, t, id, Nat::from_u64(run_inputs[id.index()]), rounds);
+                run_on_comm(ctx, proto, 4096).expect("sync-hosted AAA decides")
+            });
+        let outs: Vec<Nat> = report.honest_outputs().into_iter().cloned().collect();
+        let m = &report.metrics;
+        (outs, m.rounds, m.honest_msgs, m.honest_bits / 8)
+    };
+
+    let mut summary = BenchSummary::new("as1");
+    let mut table = Table::new(
+        &format!(
+            "AS1: sync Δ-hosts vs event-driven async, n = {n}, delays ∈ [{base}, {max_delay}], \
+             spread = {spread}, {rounds} AAA rounds"
+        ),
+        &[
+            "config",
+            "delta",
+            "wall",
+            "rounds",
+            "wasted",
+            "msgs",
+            "payload B",
+            "agree",
+            "convex",
+        ],
+    );
+
+    let mut all_correct = true;
+    let push = |summary: &mut BenchSummary, table: &mut Table, row: AsyncRow| {
+        table.row_strings(vec![
+            row.label.clone(),
+            row.delta.map_or_else(|| "-".to_owned(), |d| d.to_string()),
+            row.wall.to_string(),
+            row.rounds.to_string(),
+            row.wasted_rounds.to_string(),
+            row.messages.to_string(),
+            row.payload_bytes.to_string(),
+            row.agreement.to_string(),
+            row.validity.to_string(),
+        ]);
+        summary.push_async(&row);
+    };
+
+    // Δ tuned to the (here known) worst-case delay: the synchrony
+    // baseline at its best, and the yardstick for "wasted" rounds.
+    let tuned_delta = max_delay + 1;
+    let (outs, tuned_rounds, msgs, payload) = sync_run(tuned_delta);
+    let (agreement, validity) = check(&outs);
+    all_correct &= agreement && validity;
+    push(
+        &mut summary,
+        &mut table,
+        AsyncRow {
+            label: "sync, tuned delta".to_owned(),
+            mode: "sync-tuned".to_owned(),
+            delta: Some(tuned_delta),
+            wall: tuned_rounds * tuned_delta,
+            rounds: tuned_rounds,
+            wasted_rounds: 0,
+            messages: msgs,
+            payload_bytes: payload,
+            agreement,
+            validity,
+        },
+    );
+
+    // Δ under-estimated: messages routinely miss their barrier, so
+    // quorums straggle across rounds and barriers are burned waiting.
+    let under_delta = base + jitter / 2;
+    let (outs, under_rounds, msgs, payload) = sync_run(under_delta);
+    let (agreement, validity) = check(&outs);
+    all_correct &= agreement && validity;
+    let under_wasted = under_rounds.saturating_sub(tuned_rounds);
+    push(
+        &mut summary,
+        &mut table,
+        AsyncRow {
+            label: "sync, mistuned delta (under)".to_owned(),
+            mode: "sync-mistuned".to_owned(),
+            delta: Some(under_delta),
+            wall: under_rounds * under_delta,
+            rounds: under_rounds,
+            wasted_rounds: under_wasted,
+            messages: msgs,
+            payload_bytes: payload,
+            agreement,
+            validity,
+        },
+    );
+
+    // Δ over-estimated: what an unknown network forces — correct, but
+    // every barrier pays the padded timeout in full.
+    let over_delta = 250;
+    let (outs, over_rounds, msgs, payload) = sync_run(over_delta);
+    let (agreement, validity) = check(&outs);
+    all_correct &= agreement && validity;
+    let over_wall = over_rounds * over_delta;
+    push(
+        &mut summary,
+        &mut table,
+        AsyncRow {
+            label: "sync, mistuned delta (over)".to_owned(),
+            mode: "sync-mistuned".to_owned(),
+            delta: Some(over_delta),
+            wall: over_wall,
+            rounds: over_rounds,
+            wasted_rounds: over_rounds.saturating_sub(tuned_rounds),
+            messages: msgs,
+            payload_bytes: payload,
+            agreement,
+            validity,
+        },
+    );
+
+    // The event-driven host: same state machine, same delay samples per
+    // edge, no Δ anywhere. Traced, with the invariants checked.
+    let sink = Arc::new(ca_trace::RingBufferSink::new(16 << 20));
+    let parties: Vec<AsyncApprox> = (0..n)
+        .map(|i| AsyncApprox::new(n, t, PartyId(i), Nat::from_u64(inputs[i]), rounds))
+        .collect();
+    let report = Executor::new(parties, DeliverySchedule::new(delays()))
+        .with_trace(Arc::clone(&sink) as Arc<dyn ca_trace::TraceSink>)
+        .run();
+    let records = sink.records();
+    assert_eq!(
+        sink.total_seen() as usize,
+        records.len(),
+        "as1 trace ring wrapped; raise its capacity"
+    );
+    let violations = ca_trace::check(&records);
+    for v in &violations {
+        eprintln!("as1 trace violation: {v}");
+    }
+    let async_decided = report.outputs.iter().all(Option::is_some);
+    let outs: Vec<Nat> = report.outputs.iter().flatten().cloned().collect();
+    let (agreement, validity) = check(&outs);
+    all_correct &= agreement && validity && async_decided && violations.is_empty();
+    let async_wall = report.last_decide_time().unwrap_or(u64::MAX);
+    push(
+        &mut summary,
+        &mut table,
+        AsyncRow {
+            label: "async, event-driven".to_owned(),
+            mode: "async".to_owned(),
+            delta: None,
+            wall: async_wall,
+            rounds,
+            wasted_rounds: 0,
+            messages: report.messages,
+            payload_bytes: report.payload_bytes,
+            agreement,
+            validity,
+        },
+    );
+
+    table.print();
+
+    let async_wins = all_correct && async_wall < over_wall && under_wasted > 0;
+    summary.set_flag("as1_async_wins", async_wins);
+    println!(
+        "AS1 verdict: as1_async_wins = {async_wins} \
+         (async wall {async_wall} vs over-estimated sync {over_wall}; \
+         under-estimated sync wasted {under_wasted} rounds, async 0)"
+    );
+    if let Some(dir) = artifacts {
+        match summary.write(dir) {
+            Ok(path) => eprintln!("[as1 artifacts: {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_as1.json: {e}"),
+        }
+    }
+}
+
 /// Smoke-level sanity used by `cargo test -p ca-bench`: every experiment
 /// runs in quick mode without panicking.
 pub fn smoke_all() {
@@ -969,6 +1205,33 @@ mod tests {
             "\"label\": \"adaptive, f = 0\"",
             "\"label\": \"adaptive, f = 2\"",
             "\"protocol\": \"pi_n_adaptive\"",
+            "\"agreement\": true, \"validity\": true",
+        ] {
+            assert!(bench.contains(key), "missing {key} in:\n{bench}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn as1_artifact_gates_on_async_win() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-as1-{}", std::process::id()));
+        assert!(super::run_by_name_opts("as1", true, Some(&dir)));
+        let bench = std::fs::read_to_string(dir.join("BENCH_as1.json")).unwrap();
+        assert_eq!(
+            bench.matches('{').count(),
+            bench.matches('}').count(),
+            "unbalanced braces in:\n{bench}"
+        );
+        for key in [
+            "\"experiment\": \"as1\"",
+            "\"as1_async_wins\": true",
+            "\"kind\": \"async\"",
+            "\"mode\": \"sync-tuned\"",
+            "\"mode\": \"sync-mistuned\"",
+            "\"mode\": \"async\"",
+            "\"label\": \"async, event-driven\"",
+            "\"delta\": null",
+            "\"wasted_rounds\"",
             "\"agreement\": true, \"validity\": true",
         ] {
             assert!(bench.contains(key), "missing {key} in:\n{bench}");

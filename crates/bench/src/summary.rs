@@ -271,6 +271,41 @@ impl BenchSummary {
         });
     }
 
+    /// Appends one synchrony-model comparison run (`kind: "async"`):
+    /// a sync-with-Δ or asynchronous configuration measured under one
+    /// delay distribution. There is no [`ca_net::Metrics`] on the async
+    /// path — the deterministic executor meters messages and payload
+    /// bytes directly — so the row carries its own fields.
+    pub fn push_async(&mut self, row: &AsyncRow) {
+        let mut json = String::new();
+        json.push_str(&format!(
+            "    {{\n      \"label\": {},\n      \"kind\": \"async\",\n      \"mode\": {},\n",
+            json_string(&row.label),
+            json_string(&row.mode)
+        ));
+        json.push_str(&format!(
+            "      \"delta\": {},\n",
+            row.delta
+                .map_or_else(|| "null".to_owned(), |d| d.to_string())
+        ));
+        json.push_str(&format!(
+            "      \"wall\": {}, \"rounds\": {}, \"wasted_rounds\": {},\n",
+            row.wall, row.rounds, row.wasted_rounds
+        ));
+        json.push_str(&format!(
+            "      \"messages\": {}, \"payload_bytes\": {},\n",
+            row.messages, row.payload_bytes
+        ));
+        json.push_str(&format!(
+            "      \"agreement\": {}, \"validity\": {}\n    }}",
+            row.agreement, row.validity
+        ));
+        self.runs.push(RunSummary {
+            label: row.label.clone(),
+            json,
+        });
+    }
+
     /// Labels of the runs recorded so far (in insertion order).
     #[must_use]
     pub fn labels(&self) -> Vec<&str> {
@@ -319,6 +354,36 @@ impl BenchSummary {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// One measured configuration of the AS1 sync-vs-async comparison, in
+/// the shared abstract time units of the delay distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncRow {
+    /// Human-readable row label (e.g. `"sync, tuned delta"`).
+    pub label: String,
+    /// `"sync-tuned"`, `"sync-mistuned"`, or `"async"`.
+    pub mode: String,
+    /// The Δ the sync configuration ran with; `None` on the async path
+    /// (no Δ exists anywhere — that is the point).
+    pub delta: Option<u64>,
+    /// Wall clock to the last decision: `rounds × Δ` for sync (each
+    /// barrier waits out the timeout), the executor's last decide
+    /// virtual time for async.
+    pub wall: u64,
+    /// Barriers consumed (sync) or async protocol rounds (async).
+    pub rounds: u64,
+    /// Rounds beyond the minimum the iteration count needs — barriers
+    /// spent waiting on quorums that a correctly tuned Δ delivers in one.
+    pub wasted_rounds: u64,
+    /// Point-to-point protocol messages shipped by honest parties.
+    pub messages: u64,
+    /// Payload bytes across those messages.
+    pub payload_bytes: u64,
+    /// ε-agreement (ε = 1) held across decided parties.
+    pub agreement: bool,
+    /// Decisions stayed inside the input hull.
+    pub validity: bool,
 }
 
 /// `measured / claim` with three decimals, `"null"` when the claim is 0.

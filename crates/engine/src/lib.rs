@@ -30,6 +30,13 @@ mod lift;
 pub mod loadgen;
 mod stats;
 
+/// Hosts an asynchronous protocol instance ([`ca_async::AsyncProtocol`])
+/// as an engine session body: the session-scoped round-based `Comm` is
+/// one legal asynchronous schedule, so the same state machine that runs
+/// under `ca_async::Executor` or the event-driven TCP driver runs here —
+/// beside synchronous sessions in the same plan. Returns `None` if the
+/// round budget runs out before the instance decides.
+pub use ca_async::run_on_comm as run_async_session;
 pub use config::{ArrivalMode, EngineConfig, SessionPlan, SessionSpec};
 pub use driver::{run_engine_party, EngineOutput, ENGINE_SCOPE};
 pub use envelope::{Envelope, SessionFrame, SessionId};

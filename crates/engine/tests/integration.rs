@@ -6,10 +6,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ca_adversary::{Attack, AttackKind};
+use ca_async::AsyncApprox;
 use ca_ba::BaKind;
 use ca_bits::Nat;
 use ca_core::{check_agreement, pi_n};
-use ca_engine::{run_engine_party, EngineConfig, SessionId, SessionPlan};
+use ca_engine::{run_async_session, run_engine_party, EngineConfig, SessionId, SessionPlan};
 use ca_net::{Comm, Sim};
 use ca_runtime::TcpCluster;
 use ca_trace::{check, first_divergence, Record, RingBufferSink, TraceSink};
@@ -109,6 +110,65 @@ fn multiplexed_trace_checks_clean_and_scopes_nest() {
     // Engine lifecycle notes live directly in the engine scope.
     assert!(records.iter().any(|r| r.scope == "engine"
         && matches!(&r.event, ca_trace::Event::Note { label, .. } if label == "engine_admit")));
+}
+
+/// One engine plan hosting synchronous and asynchronous sessions side by
+/// side: even session ids run the exact protocol `pi_n`, odd ids run the
+/// asynchronous approximate-agreement state machine through
+/// [`run_async_session`]. Sync sessions must agree exactly; async ones
+/// must be ε-close (ε = 1) inside their input hull — on every party.
+#[test]
+fn engine_hosts_async_sessions_beside_sync_ones() {
+    let n = 4;
+    let k = 6;
+    let plan = SessionPlan::closed(k);
+    let config = EngineConfig::default();
+    let out: Vec<Vec<(u64, Nat)>> = Sim::new(n)
+        .run(move |ctx, _id| {
+            let decided = run_engine_party(ctx, &plan, &config, |sctx, sid| {
+                let input = input_for(sid, sctx.me().index());
+                if sid.0 % 2 == 0 {
+                    pi_n(sctx, &input, BaKind::TurpinCoan)
+                } else {
+                    let (sn, st, sme) = (sctx.n(), sctx.t(), sctx.me());
+                    // Session inputs span a hull of width n, so 4 async
+                    // rounds more than halve the spread to ≤ 1; 64
+                    // barriers is a generous budget for 4 RBC+witness
+                    // exchanges.
+                    run_async_session(sctx, AsyncApprox::new(sn, st, sme, input, 4), 64)
+                        .expect("async session decides within the round budget")
+                }
+            });
+            decided.decided.into_iter().map(|(s, v)| (s.0, v)).collect()
+        })
+        .honest_outputs()
+        .into_iter()
+        .cloned()
+        .collect();
+
+    for party_out in &out {
+        assert_eq!(party_out.len(), k, "every session decides on every party");
+    }
+    for sid in 0..k as u64 {
+        let decisions: Vec<Nat> = out.iter().map(|d| d[sid as usize].1.clone()).collect();
+        if sid % 2 == 0 {
+            assert!(check_agreement(&decisions), "sync session s{sid} disagrees");
+        } else {
+            let lo = decisions.iter().min().unwrap();
+            let hi = decisions.iter().max().unwrap();
+            assert!(
+                hi.checked_sub(lo).unwrap() <= Nat::one(),
+                "async session s{sid} not ε-close: {decisions:?}"
+            );
+            // Convexity: inside the session's input hull.
+            let hull_lo = input_for(SessionId(sid), 0);
+            let hull_hi = input_for(SessionId(sid), n - 1);
+            assert!(
+                *lo >= hull_lo && *hi <= hull_hi,
+                "async session s{sid} escapes its hull: {decisions:?}"
+            );
+        }
+    }
 }
 
 /// A 16-session deployment under an injected message-level fault traces

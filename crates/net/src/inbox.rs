@@ -66,6 +66,21 @@ impl Inbox {
             .collect()
     }
 
+    /// Decodes the *latest* well-formed message from `sender` as `T`.
+    ///
+    /// The first-message convention of [`Inbox::decode_from`] bakes in a
+    /// round-barrier assumption: at most one honest message per sender per
+    /// round. Under a delay model ([`crate::DelayedSim`]) a round's inbox
+    /// can legitimately stack a late round-`r` message *and* a fresh
+    /// round-`r+1` message from the same honest sender — delivery order is
+    /// send order, so the freshest state is the last parseable payload.
+    pub fn decode_latest_from<T: Decode>(&self, sender: PartyId) -> Option<T> {
+        self.by_sender[sender.0]
+            .iter()
+            .rev()
+            .find_map(|m| T::decode_from_slice(m).ok())
+    }
+
     /// Decodes *every* message of every sender that parses as `T`
     /// (for steps that legitimately accept multiple messages per sender).
     pub fn decode_all<T: Decode>(&self) -> Vec<(PartyId, T)> {
@@ -114,6 +129,18 @@ mod tests {
     fn decode_each_skips_bad_senders() {
         let decoded = inbox3().decode_each::<u64>();
         assert_eq!(decoded, vec![(PartyId(0), 11)]);
+    }
+
+    #[test]
+    fn decode_latest_takes_last_well_formed() {
+        let inbox = inbox3();
+        assert_eq!(inbox.decode_latest_from::<u64>(PartyId(0)), Some(11));
+        assert_eq!(inbox.decode_latest_from::<u64>(PartyId(1)), None);
+        assert_eq!(inbox.decode_latest_from::<u64>(PartyId(2)), Some(22));
+        let mut stacked = Inbox::with_parties(2);
+        stacked.push(PartyId(1), 5u64.encode_to_vec().into());
+        stacked.push(PartyId(1), 6u64.encode_to_vec().into());
+        assert_eq!(stacked.decode_latest_from::<u64>(PartyId(1)), Some(6));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 mod adversary;
 mod comm;
+mod delay;
 mod inbox;
 mod metrics;
 mod parallel;
@@ -48,6 +49,7 @@ pub use adversary::{Adversary, RoundActions, RoundView, SendSpec, Silent};
 // trace helpers) without a separate `ca-trace` import.
 pub use ca_trace::{compact_debug, Histogram, TraceSink};
 pub use comm::{Comm, CommExt, FaultEstimate};
+pub use delay::{DelayedSim, EdgeDelays, EdgeRule};
 pub use inbox::Inbox;
 pub use metrics::{Metrics, ScopeMetrics};
 pub use parallel::run_parallel;

@@ -9,7 +9,10 @@ use bytes::Bytes;
 use ca_trace::{Event as TraceEvent, NullSink, Record, TraceSink, ROOT_SCOPE};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use std::collections::BTreeMap;
+
 use crate::adversary::{Adversary, RoundView, Silent};
+use crate::delay::EdgeDelays;
 use crate::{Comm, Inbox, Metrics, PartyId};
 
 /// How a party participates in a run.
@@ -67,6 +70,20 @@ pub struct Sim {
     adversary: Box<dyn Adversary>,
     max_rounds: u64,
     sink: Arc<dyn TraceSink>,
+    delay_model: Option<DelayModel>,
+}
+
+/// Per-run state of the seeded delay injection (see [`crate::DelayedSim`]).
+struct DelayModel {
+    delays: EdgeDelays,
+    /// Round length in delay time units; a sampled delay `d` postpones
+    /// delivery by `⌊d/delta⌋` rounds.
+    delta: u64,
+    /// Global message counter feeding the sampler — deterministic because
+    /// sends are processed in sorted (sender, submission) order.
+    seq: u64,
+    /// Messages held for a future round, keyed by arrival round.
+    held: BTreeMap<u64, Vec<(PartyId, PartyId, Bytes)>>,
 }
 
 impl Sim {
@@ -85,7 +102,23 @@ impl Sim {
             adversary: Box::new(Silent),
             max_rounds: 1_000_000,
             sink: Arc::new(NullSink),
+            delay_model: None,
         }
+    }
+
+    /// Routes every protocol send through a seeded [`EdgeDelays`] sampler:
+    /// delivery is postponed by `⌊delay/delta⌋` rounds (or dropped). Used
+    /// via [`crate::DelayedSim`]; breaks the perfect-synchrony guarantee
+    /// on purpose.
+    #[must_use]
+    pub(crate) fn with_delay_model(mut self, delays: EdgeDelays, delta: u64) -> Self {
+        self.delay_model = Some(DelayModel {
+            delays,
+            delta: delta.max(1),
+            seq: 0,
+            held: BTreeMap::new(),
+        });
+        self
     }
 
     /// Overrides the corruption budget `t`.
@@ -403,6 +436,14 @@ impl Sim {
                 // (receiver, sender, bytes) for this round's deliveries, in
                 // assembly order — traced after the send events.
                 let mut deliveries: Vec<(usize, usize, u64)> = Vec::new();
+                // Messages held back by the delay model whose arrival round
+                // has come are delivered first (they were sent earlier).
+                if let Some(model) = self.delay_model.as_mut() {
+                    for (from, to, payload) in model.held.remove(&round).unwrap_or_default() {
+                        deliveries.push((to.0, from.0, payload.len() as u64));
+                        inboxes[to.0].push(from, payload);
+                    }
+                }
                 for (from, msgs) in &sends {
                     let from_id = PartyId(*from);
                     let is_corrupt = corrupted.contains(&from_id);
@@ -442,8 +483,31 @@ impl Sim {
                             }
                         }
                         if to.0 < n {
-                            inboxes[to.0].push(from_id, payload.clone());
-                            deliveries.push((to.0, *from, payload.len() as u64));
+                            let mut arrival = round;
+                            if let Some(model) = self.delay_model.as_mut() {
+                                if *to != from_id {
+                                    let seq = model.seq;
+                                    model.seq += 1;
+                                    match model.delays.sample(*from, to.0, seq) {
+                                        // Dropped on the wire; the send was
+                                        // already metered and traced above.
+                                        None => continue,
+                                        Some(d) => arrival = round + d / model.delta,
+                                    }
+                                }
+                            }
+                            if arrival > round {
+                                if let Some(model) = self.delay_model.as_mut() {
+                                    model.held.entry(arrival).or_default().push((
+                                        from_id,
+                                        *to,
+                                        payload.clone(),
+                                    ));
+                                }
+                            } else {
+                                inboxes[to.0].push(from_id, payload.clone());
+                                deliveries.push((to.0, *from, payload.len() as u64));
+                            }
                         }
                     }
                 }

@@ -1,0 +1,274 @@
+//! Event-driven TCP driver: runs an [`AsyncProtocol`] over a
+//! [`TcpParty`] with no round barriers and no Δ.
+//!
+//! The synchronous surface of [`TcpParty`] batches sends until
+//! `next_round` and then waits on end-of-round markers under a Δ
+//! timeout. The async driver inverts that: every [`Action::Send`] ships
+//! immediately, and the protocol advances on each delivered message —
+//! progress is quorum-driven, exactly as in the deterministic
+//! [`ca_async::Executor`], but over real sockets. A protocol written
+//! against [`AsyncProtocol`] therefore runs unchanged on both hosts.
+//!
+//! # Fault plans
+//!
+//! A [`FaultPlan`](crate::FaultPlan) installed on the party applies to
+//! this path too, reinterpreted for a world without rounds: the plan's
+//! round numbers are matched against the count of protocol messages this
+//! party has delivered. "Crash at round 20" means "crash when the 20th
+//! message arrives"; a stall discards the actions one delivery produces;
+//! garbage ships an undecodable frame to every peer at that point.
+//! Crashes and garbage behave exactly as on the sync path (abrupt EOF
+//! after queued frames drain, decode-failure disconnect).
+//!
+//! # Termination
+//!
+//! Quorum-driven protocols never time out, but a deployment still needs
+//! an exit: the driver returns once the protocol decides *and* the link
+//! has been quiet for [`AsyncTcpOpts::linger`] (so late peers still get
+//! this party's echo/ready responses — reliable-broadcast totality needs
+//! deciders to keep participating), or unconditionally after
+//! [`AsyncTcpOpts::deadline`] (a liveness backstop for runs with more
+//! than `t` failures).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Display;
+use std::time::Duration;
+
+use bytes::Bytes;
+use ca_async::{Action, AsyncProtocol};
+use ca_net::{Comm as _, PartyId};
+use ca_trace::Event as TraceEvent;
+
+use crate::party::Polled;
+use crate::TcpParty;
+
+/// Tuning for one [`run_async_party`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncTcpOpts {
+    /// Hard wall-clock cap on the whole run (measured on the party's
+    /// injected clock). The driver returns whatever the protocol has
+    /// decided when it expires.
+    pub deadline: Duration,
+    /// How long each event poll blocks. Smaller is more responsive,
+    /// larger burns fewer wakeups; correctness does not depend on it.
+    pub poll: Duration,
+    /// After deciding, keep serving peers until the link has been quiet
+    /// this long. Must comfortably exceed one network round trip.
+    pub linger: Duration,
+    /// Trace scope the run's records live under.
+    pub scope: String,
+    /// Milliseconds one [`Action::SetTimer`] unit stretches to.
+    pub ms_per_timer_unit: u64,
+}
+
+impl Default for AsyncTcpOpts {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(30),
+            poll: Duration::from_millis(5),
+            linger: Duration::from_millis(300),
+            scope: "async".to_owned(),
+            ms_per_timer_unit: 1,
+        }
+    }
+}
+
+/// Runs `proto` on `party` event-driven until it decides (plus the
+/// linger window) or the deadline expires. Returns the decision, or
+/// `None` if the protocol never decided — or crashed under its fault
+/// plan, which wipes the decision exactly as the deterministic executor
+/// does.
+pub fn run_async_party<P: AsyncProtocol>(
+    party: &mut TcpParty,
+    mut proto: P,
+    opts: &AsyncTcpOpts,
+) -> Option<P::Output>
+where
+    P::Output: Display,
+{
+    let me = party.me();
+    let start = party.clock_now();
+    let plan = party.fault_plan();
+    party.push_scope(&opts.scope);
+    if let Some(repr) = proto.input_repr() {
+        party.trace(TraceEvent::Input { value: repr });
+    }
+
+    // Self-deliveries stay local (Broadcast includes `me`); timers are
+    // keyed by absolute fire time with a tiebreak sequence.
+    let mut self_queue: VecDeque<Bytes> = VecDeque::new();
+    let mut timers: BTreeMap<(Duration, u64), u64> = BTreeMap::new();
+    let mut timer_seq: u64 = 0;
+    let mut delivered: u64 = 0;
+    let mut decided = false;
+    let mut last_activity = start;
+
+    let actions = proto.on_start();
+    apply(
+        party,
+        &mut self_queue,
+        &mut timers,
+        &mut timer_seq,
+        opts,
+        actions,
+    );
+
+    loop {
+        let now = party.clock_now();
+        if party.is_crashed() || now.saturating_sub(start) >= opts.deadline {
+            break;
+        }
+
+        // Local work first: self-deliveries, then due timers.
+        if let Some(payload) = self_queue.pop_front() {
+            party.trace(TraceEvent::Deliver {
+                from: me.index() as u64,
+                bytes: payload.len() as u64,
+            });
+            let actions = proto.on_message(me, &payload);
+            apply(
+                party,
+                &mut self_queue,
+                &mut timers,
+                &mut timer_seq,
+                opts,
+                actions,
+            );
+        } else if timers
+            .first_key_value()
+            .is_some_and(|((at, _), _)| *at <= now)
+        {
+            let ((_, _), id) = timers.pop_first().expect("checked non-empty");
+            let actions = proto.on_timer(id);
+            apply(
+                party,
+                &mut self_queue,
+                &mut timers,
+                &mut timer_seq,
+                opts,
+                actions,
+            );
+        } else {
+            match party.poll_event(opts.poll) {
+                Polled::Msg { from, payload } => {
+                    delivered += 1;
+                    // The fault plan's "rounds" are delivered-message
+                    // counts here (async has no rounds to key on).
+                    if plan.is_crash_round(delivered) {
+                        party.trace(TraceEvent::FaultInjected {
+                            strategy: "crash:async".to_owned(),
+                        });
+                        party.crash_now();
+                        break;
+                    }
+                    if plan.emits_garbage_in(delivered) {
+                        party.trace(TraceEvent::FaultInjected {
+                            strategy: "garbage".to_owned(),
+                        });
+                        party.send_garbage_now();
+                    }
+                    party.trace(TraceEvent::Deliver {
+                        from: from as u64,
+                        bytes: payload.len() as u64,
+                    });
+                    last_activity = party.clock_now();
+                    let actions = proto.on_message(PartyId(from), &payload);
+                    if plan.stalls_in(delivered) {
+                        party.trace(TraceEvent::FaultInjected {
+                            strategy: "stall".to_owned(),
+                        });
+                        // The delivery happened; its responses are lost.
+                    } else {
+                        apply(
+                            party,
+                            &mut self_queue,
+                            &mut timers,
+                            &mut timer_seq,
+                            opts,
+                            actions,
+                        );
+                    }
+                }
+                Polled::Housekeeping => {}
+                Polled::Quiet => {
+                    if decided && party.clock_now().saturating_sub(last_activity) >= opts.linger {
+                        break;
+                    }
+                }
+                Polled::Closed => break,
+            }
+        }
+
+        if !decided {
+            if let Some(out) = proto.output() {
+                decided = true;
+                party.trace(TraceEvent::Decide {
+                    value: out.to_string(),
+                });
+            }
+        }
+    }
+
+    party.pop_scope();
+    if party.is_crashed() {
+        // A crash wipes the decision, mirroring `ca_async::Executor`.
+        return None;
+    }
+    proto.output()
+}
+
+/// Executes one batch of protocol actions against the transport.
+fn apply(
+    party: &mut TcpParty,
+    self_queue: &mut VecDeque<Bytes>,
+    timers: &mut BTreeMap<(Duration, u64), u64>,
+    timer_seq: &mut u64,
+    opts: &AsyncTcpOpts,
+    actions: Vec<Action>,
+) {
+    let me = party.me().index();
+    for action in actions {
+        match action {
+            Action::Send { to, payload } => {
+                if to.index() == me {
+                    self_queue.push_back(payload);
+                } else {
+                    party.send_now(to.index(), payload);
+                }
+            }
+            Action::Broadcast { payload } => {
+                for to in 0..party.n() {
+                    if to == me {
+                        self_queue.push_back(payload.clone());
+                    } else {
+                        party.send_now(to, payload.clone());
+                    }
+                }
+            }
+            Action::SetTimer { id, after } => {
+                let at = party
+                    .clock_now()
+                    .saturating_add(Duration::from_millis(after * opts.ms_per_timer_unit));
+                timers.insert((at, *timer_seq), id);
+                *timer_seq += 1;
+            }
+            Action::Note { label, value } => {
+                party.trace(TraceEvent::Note { label, value });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_are_sane() {
+        let opts = AsyncTcpOpts::default();
+        assert!(opts.deadline > opts.linger);
+        assert!(opts.linger > opts.poll);
+        assert_eq!(opts.scope, "async");
+        assert_eq!(opts.ms_per_timer_unit, 1);
+    }
+}

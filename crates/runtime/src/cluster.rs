@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use ca_async::AsyncProtocol;
 use ca_net::{Comm, PartyId};
 use ca_trace::JsonlSink;
 
@@ -142,6 +143,48 @@ impl TcpCluster {
     where
         O: Send,
         F: Fn(&mut dyn Comm, PartyId) -> O + Send + Sync,
+    {
+        self.run_parties(|comm, id| party(comm, id))
+    }
+
+    /// Runs an **event-driven** (asynchronous) protocol on every party:
+    /// no round barriers, no Δ — each instance advances as messages
+    /// arrive, via [`run_async_party`](crate::run_async_party). `make`
+    /// builds party `i`'s protocol instance; [`FaultPlan`]s installed
+    /// with [`TcpCluster::with_fault_plan`] apply, reinterpreted per the
+    /// async driver's documentation (plan rounds = delivered-message
+    /// counts). The configured Δ is irrelevant on this path.
+    ///
+    /// Returns each party's decision (`None` for parties that crashed
+    /// under their plan or hit [`AsyncTcpOpts::deadline`]), in party
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] if sockets cannot be set up.
+    pub fn run_async<P, F>(
+        self,
+        opts: &crate::AsyncTcpOpts,
+        make: F,
+    ) -> Result<Vec<Option<P::Output>>, RuntimeError>
+    where
+        P: AsyncProtocol,
+        P::Output: Send,
+        P::Output: std::fmt::Display,
+        F: Fn(PartyId) -> P + Send + Sync,
+    {
+        self.run_parties(|party, id| crate::run_async_party(party, make(id), opts))
+            .map(|report| report.outputs)
+    }
+
+    /// Shared plumbing: establishes the clique and runs `party` on every
+    /// node with access to the concrete [`TcpParty`] (the sync surface
+    /// coerces it to `&mut dyn Comm`; the async driver needs the
+    /// event-polling seam underneath).
+    fn run_parties<O, F>(self, party: F) -> Result<ClusterReport<O>, RuntimeError>
+    where
+        O: Send,
+        F: Fn(&mut TcpParty, PartyId) -> O + Send + Sync,
     {
         // Reserve n free localhost ports.
         // ca-lint: allow(unbounded-alloc) — capacity is the locally configured party count

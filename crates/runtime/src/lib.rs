@@ -12,6 +12,13 @@
 //! protocol runs on a dedicated blocking thread while a tokio runtime
 //! drives the sockets.
 //!
+//! The runtime also has an **event-driven mode** for asynchronous
+//! protocols ([`ca_async::AsyncProtocol`]): [`run_async_party`] and
+//! [`TcpCluster::run_async`] advance a protocol instance per delivered
+//! message, with no round barriers and no Δ anywhere — the TCP
+//! deployment of the same state machines the deterministic
+//! [`ca_async::Executor`] schedules in tests.
+//!
 //! Scope: this runtime demonstrates deployment and is used by the
 //! `tcp_cluster` example and the simulator-equivalence tests. It does not
 //! meter communication (use the simulator for experiments) and it trusts
@@ -34,6 +41,7 @@
 //! assert_eq!(outputs, vec![4, 4, 4, 4]);
 //! ```
 
+mod async_driver;
 mod clock;
 mod cluster;
 mod fault;
@@ -41,6 +49,7 @@ mod frame;
 mod party;
 mod stats;
 
+pub use async_driver::{run_async_party, AsyncTcpOpts};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use cluster::{ClusterReport, TcpCluster};
 pub use fault::FaultPlan;

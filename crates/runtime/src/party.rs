@@ -488,6 +488,110 @@ impl TcpParty {
             *w = None;
         }
     }
+
+    // -- Event-driven (async) access, used by `crate::async_driver` ------
+    //
+    // The round-based `Comm` surface above buffers sends until the next
+    // barrier; the asynchronous driver instead ships frames immediately
+    // and polls inbound events one at a time, with no Δ anywhere.
+
+    /// Reads the injected clock (the async driver's only time source).
+    pub(crate) fn clock_now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// A copy of the scripted fault plan (the async driver applies it
+    /// itself, keyed by delivered-message count instead of rounds).
+    pub(crate) fn fault_plan(&self) -> FaultPlan {
+        self.fault.clone()
+    }
+
+    /// Whether the crash fault has been executed.
+    pub(crate) fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Executes the crash fault now (async-driver entry point).
+    pub(crate) fn crash_now(&mut self) {
+        self.crash();
+    }
+
+    /// Ships `payload` to `to` immediately as a `Frame::Msg` (no barrier;
+    /// the round tag is meaningless to an async receiver and carries the
+    /// current counter only for wire compatibility), tracing the send.
+    pub(crate) fn send_now(&mut self, to: usize, payload: Bytes) {
+        if self.crashed {
+            return;
+        }
+        if self.sink.enabled() {
+            self.emit(TraceEvent::Send {
+                to: to as u64,
+                bytes: payload.len() as u64,
+            });
+        }
+        self.enqueue(
+            to,
+            WriterItem::Frame(Frame::Msg {
+                round: self.round,
+                payload: payload.to_vec(),
+            }),
+        );
+    }
+
+    /// Ships one undecodable frame to every peer (the garbage fault on
+    /// the async path; honest receivers drop the connection on decode
+    /// failure).
+    pub(crate) fn send_garbage_now(&mut self) {
+        let garbage: Vec<u8> = vec![0, 0, 0, 1, 0xFF];
+        for peer in 0..self.n {
+            self.enqueue(peer, WriterItem::Raw(garbage.clone()));
+        }
+    }
+
+    /// Waits up to `timeout` for one inbound observation. Liveness
+    /// bookkeeping (end-of-round markers from sync peers, disconnects) is
+    /// absorbed internally and reported as [`Polled::Housekeeping`] so
+    /// callers simply poll again.
+    pub(crate) fn poll_event(&mut self, timeout: Duration) -> Polled {
+        match self.events.recv_timeout(timeout) {
+            Ok(Event::Msg { from, payload, .. }) => Polled::Msg { from, payload },
+            Ok(Event::Eor { from, round }) => {
+                self.eor[from] = self.eor[from].max(round);
+                Polled::Housekeeping
+            }
+            Ok(Event::Gone { from, graceful }) => {
+                if graceful {
+                    if from != self.me.index() {
+                        self.gone[from] = true;
+                    }
+                } else {
+                    self.mark_gone(from, "eof");
+                }
+                Polled::Housekeeping
+            }
+            Err(std_mpsc::RecvTimeoutError::Timeout) => Polled::Quiet,
+            Err(std_mpsc::RecvTimeoutError::Disconnected) => Polled::Closed,
+        }
+    }
+}
+
+/// One observation from [`TcpParty::poll_event`].
+#[derive(Debug)]
+pub(crate) enum Polled {
+    /// A protocol message arrived (its round tag, if any, is ignored —
+    /// async protocols sequence themselves by message content).
+    Msg {
+        /// Sender index.
+        from: usize,
+        /// Opaque protocol bytes.
+        payload: Bytes,
+    },
+    /// Bookkeeping was absorbed; poll again.
+    Housekeeping,
+    /// Nothing arrived within the timeout.
+    Quiet,
+    /// The event channel closed (socket tasks are gone).
+    Closed,
 }
 
 impl Comm for TcpParty {

@@ -17,8 +17,11 @@
 //! * [`adversary`] — the byzantine strategy library.
 //! * [`trace`] — structured protocol tracing: typed event records, sinks,
 //!   invariant checking (`ca-trace check`), timeline reports and diffs.
+//! * [`asynchrony`] — the asynchronous kernel: event-driven protocol state
+//!   machines (reliable broadcast, witness quorums, Δ-free approximate
+//!   agreement) under a deterministic seeded executor.
 //! * [`runtime`] — the tokio TCP deployment runtime (same protocol code,
-//!   real sockets).
+//!   real sockets), including an event-driven driver for async protocols.
 //! * [`engine`] — the multi-tenant agreement service: N concurrent CA
 //!   sessions per party multiplexed over one transport, with admission
 //!   control, backpressure, and a load-generation harness.
@@ -45,6 +48,9 @@
 //! ```
 
 pub use ca_adversary as adversary;
+// `async` is a keyword, so the asynchronous kernel re-exports under a
+// pronounceable alias rather than `r#async`.
+pub use ca_async as asynchrony;
 pub use ca_ba as ba;
 pub use ca_bits as bits;
 pub use ca_codec as codec;

@@ -1,0 +1,129 @@
+//! Chaos test for the asynchronous path: n = 4 parties run Δ-free
+//! approximate agreement under a seeded adversarial delivery schedule —
+//! heavy jitter (so messages reorder freely), one artificially slow edge
+//! — while one party crashes mid-protocol. The three survivors must
+//! still reach ε-agreement inside the input hull, the trace must satisfy
+//! every `ca-trace check` invariant, and the whole run must be
+//! byte-reproducible: two executions of the same configuration produce
+//! identical record streams.
+//!
+//! This is the async twin of `tests/chaos.rs` (which exercises the
+//! synchronous TCP runtime). Determinism here is cheaper to state: the
+//! executor is single-threaded over a seeded schedule, so there are no
+//! racy `peer_gone` lines to strip — the full streams must match.
+
+use std::sync::Arc;
+
+use convex_agreement::asynchrony::{rounds_for_spread, AsyncApprox, DeliverySchedule, Executor};
+use convex_agreement::bits::Nat;
+use convex_agreement::net::{EdgeRule, PartyId};
+use convex_agreement::trace::{check, first_divergence, Record, RingBufferSink, TraceSink};
+
+const N: usize = 4;
+const T: usize = 1;
+const CRASH_PARTY: usize = 3;
+/// Virtual time of the scripted crash. Edge delays are sampled from
+/// `1 + U[0, 50]`, so by t = 90 the first async round is in full swing
+/// (RBC echoes and readys in flight) but nobody has decided yet.
+const CRASH_AT: u64 = 90;
+const SEED: u64 = 0xC4A05;
+const INPUTS: [u64; N] = [5, 1000, 250, 700];
+
+fn inputs() -> Vec<Nat> {
+    INPUTS.iter().copied().map(Nat::from_u64).collect()
+}
+
+/// One full chaos run: returns the survivors' decisions alongside the
+/// complete trace record stream.
+fn chaos_run() -> (Vec<Option<Nat>>, Vec<Record>) {
+    let spread = Nat::from_u64(INPUTS.iter().max().unwrap() - INPUTS.iter().min().unwrap());
+    let rounds = rounds_for_spread(&spread);
+    let parties: Vec<_> = inputs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| AsyncApprox::new(N, T, PartyId(i), v, rounds))
+        .collect();
+    // Base 1, jitter 50: sampled delays span 1..=51, so a message sent
+    // later routinely overtakes one sent earlier. The extra rule makes
+    // the 1→2 edge another ~40 units slower — enough that party 2 sees
+    // whole quorums complete before party 1's contributions arrive.
+    let schedule = DeliverySchedule::uniform(SEED, 1, 50).with_rule(EdgeRule {
+        from: Some(1),
+        to: Some(2),
+        extra_delay: 40,
+        drop_pct: 0,
+    });
+    let sink = Arc::new(RingBufferSink::new(16_000_000));
+    let report = Executor::new(parties, schedule)
+        .crash_at(PartyId(CRASH_PARTY), CRASH_AT)
+        .with_trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .run();
+    let records = sink.records();
+    assert_eq!(
+        sink.total_seen() as usize,
+        records.len(),
+        "ring wrapped; grow the capacity"
+    );
+    assert_eq!(report.crashed, vec![CRASH_PARTY], "crash plan must fire");
+    (report.outputs, records)
+}
+
+/// Survivors of a mid-protocol crash still decide — ε-close (ε = 1) and
+/// inside the input hull — with zero Δ anywhere in the configuration.
+#[test]
+fn async_survivors_decide_under_reorder_and_crash() {
+    let (outputs, records) = chaos_run();
+
+    assert!(
+        outputs[CRASH_PARTY].is_none(),
+        "crashed party must not report a decision"
+    );
+    let survivors: Vec<&Nat> = outputs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != CRASH_PARTY)
+        .map(|(i, o)| o.as_ref().unwrap_or_else(|| panic!("party {i} undecided")))
+        .collect();
+    assert_eq!(survivors.len(), N - 1);
+
+    let lo = survivors.iter().min().unwrap();
+    let hi = survivors.iter().max().unwrap();
+    assert!(
+        hi.checked_sub(lo).unwrap() <= Nat::one(),
+        "survivors not ε-close: {survivors:?}"
+    );
+    let hull_lo = Nat::from_u64(*INPUTS.iter().min().unwrap());
+    let hull_hi = Nat::from_u64(*INPUTS.iter().max().unwrap());
+    assert!(
+        **lo >= hull_lo && **hi <= hull_hi,
+        "decisions escape the input hull: {survivors:?}"
+    );
+
+    // The trace must be structurally clean: the crash is recorded as an
+    // injected fault, so the checker exempts party 3 from the
+    // everyone-decides invariant; everything else must hold.
+    let violations = check(&records);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    assert!(
+        records.iter().any(|r| r.party == Some(CRASH_PARTY as u64)
+            && matches!(
+                &r.event,
+                convex_agreement::trace::Event::FaultInjected { .. }
+            )),
+        "crash must surface as a FaultInjected record"
+    );
+}
+
+/// Two runs of the identical configuration are byte-identical — the
+/// reproducibility contract that makes async failures debuggable.
+#[test]
+fn async_chaos_trace_is_byte_reproducible() {
+    let (out_a, trace_a) = chaos_run();
+    let (out_b, trace_b) = chaos_run();
+    assert_eq!(out_a, out_b, "outputs diverge across reruns");
+    assert!(
+        first_divergence(&trace_a, &trace_b).is_none(),
+        "nondeterministic async trace"
+    );
+    assert!(!trace_a.is_empty());
+}
