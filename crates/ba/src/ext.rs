@@ -27,17 +27,81 @@
 //! simulator's round-granular corruption this yields a uniform `⊥` for all
 //! honest parties, preserving Agreement.
 
-use ca_crypto::{MerkleTree, Witness};
-use ca_erasure::{ReedSolomon, Share};
-use ca_net::{Comm, CommExt, PartyId};
+use ca_crypto::{Hash256, MerkleTree, Witness};
+use ca_erasure::{ReedSolomon, Share, ShareRef};
+use ca_net::{Comm, CommExt, Inbox, PartyId};
 
-use ca_codec::Encode;
+use ca_codec::{CodecError, Decode, Encode, Reader};
 
 use crate::{ba_plus, BaKind, Value};
 
 /// A distributed codeword: `(index, share, witness)` — the paper's
 /// `(j, sⱼ, wⱼ)` tuples.
 type ShareMsg = (u32, Share, Witness);
+
+/// Borrowed view of a [`ShareMsg`]: the share borrows its exact encoded
+/// span from the receive buffer, so Merkle verification hashes the wire
+/// bytes directly instead of re-encoding the share.
+struct ShareMsgRef<'a> {
+    idx: u32,
+    share: ShareRef<'a>,
+    witness: Witness,
+}
+
+impl<'a> ShareMsgRef<'a> {
+    /// Bounds-checked decode of one complete message; trailing bytes are
+    /// malformed (a byzantine sender must not smuggle extra data past the
+    /// share-span capture).
+    fn decode_from_slice(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let idx = u32::decode(&mut r)?;
+        let share = ShareRef::decode(&mut r)?;
+        let witness = Witness::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(ShareMsgRef {
+            idx,
+            share,
+            witness,
+        })
+    }
+}
+
+/// Decodes every `(idx, share, witness)` message in `inbox` through the
+/// borrowed [`ShareRef`] view and Merkle-verifies each against the *exact
+/// received encoding* of the share — the leaf preimage is the borrowed
+/// span itself, so verification re-encodes nothing. Malformed messages are
+/// silence; `keep` pre-filters by index before the hash work; the share is
+/// only materialized (symbol bytes parsed) after verification passes.
+fn verified_share_msgs(
+    inbox: &Inbox,
+    z_star: Hash256,
+    mut keep: impl FnMut(usize) -> bool,
+) -> Vec<ShareMsg> {
+    let mut out = Vec::new();
+    for sender in 0..inbox.party_count() {
+        for raw in inbox.raw_from(PartyId(sender)) {
+            let Ok(msg) = ShareMsgRef::decode_from_slice(raw) else {
+                continue;
+            };
+            if !keep(msg.idx as usize) {
+                continue;
+            }
+            if MerkleTree::verify(
+                z_star,
+                msg.idx as usize,
+                msg.share.encoded_bytes(),
+                &msg.witness,
+            ) {
+                out.push((msg.idx, msg.share.to_share(), msg.witness));
+            }
+        }
+    }
+    out
+}
 
 /// Runs `Π_ℓBA+` on `input`, instantiating the assumed `Π_BA` with `ba`.
 ///
@@ -78,26 +142,23 @@ fn lba_plus_body<V: Value>(ctx: &mut dyn Comm, input: &V, ba: BaKind) -> Option<
         }
     }
     let inbox = ctx.next_round();
-    let mine: Option<ShareMsg> = inbox
-        .decode_all::<ShareMsg>()
+    let mine: Option<ShareMsg> = verified_share_msgs(&inbox, z_star, |idx| idx == me.index())
         .into_iter()
-        .find(|(_, (idx, share, witness))| {
-            *idx as usize == me.index()
-                && MerkleTree::verify(z_star, *idx as usize, share.encode_to_vec(), witness)
-        })
-        .map(|(_, msg)| msg);
+        .next();
 
     // Step 3b: echo the verified codeword to everyone.
     if let Some(msg) = &mine {
         ctx.send_all(msg);
     }
     let inbox = ctx.next_round();
-    let mut collected: Vec<(usize, Share)> = Vec::new();
+    // Dedup only *after* verification: an unverifiable message for index j
+    // must not shadow a later honest one (verified codewords for an index
+    // are identical, so which duplicate wins is immaterial).
     let mut have = vec![false; n];
-    for (_, (idx, share, witness)) in inbox.decode_all::<ShareMsg>() {
+    let mut collected: Vec<(usize, Share)> = Vec::new();
+    for (idx, share, _) in verified_share_msgs(&inbox, z_star, |idx| idx < n) {
         let idx = idx as usize;
-        if idx < n && !have[idx] && MerkleTree::verify(z_star, idx, share.encode_to_vec(), &witness)
-        {
+        if !have[idx] {
             have[idx] = true;
             collected.push((idx, share));
         }

@@ -1,10 +1,11 @@
 //! Experiment driver: `cargo run -p ca-bench --release --bin experiments --
-//! [t1|f1|f2|t2|f3|t3|t4|f4|f5|e1|s1|r1|a1|all] [--quick] [--artifacts <dir>]`
+//! [t1|f1|f2|t2|f3|t3|t4|f4|f5|e1|s1|r1|a1|as1|p1|all] [--quick]
+//! [--artifacts <dir>]`
 //!
 //! `--artifacts <dir>` makes artifact-aware experiments (currently F3, S1,
-//! R1, and A1) write machine-readable outputs into `<dir>`: a `run.jsonl` event
-//! timeline (inspect with `ca-trace report/check/diff`) and a
-//! `BENCH_<exp>.json` claim-vs-measured summary.
+//! R1, A1, AS1, and P1) write machine-readable outputs into `<dir>`: a
+//! `run.jsonl` event timeline (inspect with `ca-trace report/check/diff`)
+//! and a `BENCH_<exp>.json` claim-vs-measured summary.
 
 use std::path::PathBuf;
 
@@ -36,7 +37,7 @@ fn main() {
     for id in ids {
         if !ca_bench::experiments::run_by_name_opts(id, quick, artifacts.as_deref()) {
             eprintln!("unknown experiment id: {id}");
-            eprintln!("known: t1 f1 f2 t2 f3 t3 t4 f4 f5 e1 s1 r1 a1 all");
+            eprintln!("known: t1 f1 f2 t2 f3 t3 t4 f4 f5 e1 s1 r1 a1 as1 p1 all");
             std::process::exit(2);
         }
     }

@@ -53,9 +53,11 @@ fn run_inner(name: &str, quick: bool, artifacts: Option<&Path>) -> bool {
         "r1" => r1_crash_resilience(quick, artifacts),
         "a1" => a1_adaptive_sweep(quick, artifacts),
         "as1" => as1_async_vs_sync(quick, artifacts),
+        "p1" => p1_kernel_grid(quick, artifacts),
         "all" => {
             for id in [
-                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1", "a1", "as1",
+                "t1", "f1", "f2", "t2", "f3", "t3", "t4", "f4", "f5", "e1", "s1", "r1", "a1",
+                "as1", "p1",
             ] {
                 run_by_name_opts(id, quick, artifacts);
             }
@@ -1108,6 +1110,175 @@ pub fn as1_async_vs_sync(quick: bool, artifacts: Option<&Path>) {
     }
 }
 
+/// **P1** (hot-path kernels, beyond the paper) — the n = 256 scaling
+/// grid: single-core throughput of the blocked split-table RS kernels and
+/// the batched arena Merkle build against the scalar reference paths
+/// (compiled in via the `scalar-oracle` features), over
+/// n ∈ {16, 64, 128, 256} × ℓ up to 1 MiB. Every cell is also a runtime
+/// differential test: the blocked and scalar kernels must produce
+/// byte-identical codewords/reconstructions and the same Merkle root.
+///
+/// Decode is measured on the *parity-heavy* share subset — systematic
+/// shares are dropped first, so (almost) every reconstructed column pays
+/// the full k-term coefficient row. That is the kernel's worst case and
+/// the regime the blocking targets.
+///
+/// With `artifacts` set, writes `BENCH_p1.json` including the top-level
+/// gate `"p1_blocked_beats_scalar"` (true iff all cells are
+/// differentially equal and the largest cell — n = 256, ℓ = 1 MiB on the
+/// full grid — shows ≥ 2× blocked-over-scalar speedup on both encode and
+/// decode).
+pub fn p1_kernel_grid(quick: bool, artifacts: Option<&Path>) {
+    use crate::summary::KernelRow;
+    use ca_codec::Encode;
+    use ca_crypto::MerkleTree;
+    use ca_erasure::{ReedSolomon, Share};
+    use std::time::Instant;
+
+    let ns: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 128, 256]
+    };
+    let ells: &[usize] = if quick {
+        &[64 << 10, 256 << 10]
+    } else {
+        &[256 << 10, 1 << 20]
+    };
+
+    /// Measures `f`'s sustained rate by repeating it until ≥ `budget_ms`
+    /// of wall clock is spent (at least once), returning MB of payload
+    /// processed per second of one core.
+    fn mbps(ell: usize, budget_ms: u64, mut f: impl FnMut()) -> f64 {
+        let budget = std::time::Duration::from_millis(budget_ms);
+        let start = Instant::now();
+        let mut reps = 0u64;
+        while reps == 0 || start.elapsed() < budget {
+            f();
+            reps += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (ell as f64 * reps as f64) / secs / 1e6
+    }
+
+    let budget_ms: u64 = if quick { 30 } else { 200 };
+    let mut summary = BenchSummary::new("p1");
+    let mut table = Table::new(
+        "P1: blocked vs scalar kernel throughput, one core (MB/s of payload)",
+        &[
+            "n", "l", "enc blk", "enc sca", "enc x", "dec blk", "dec sca", "dec x", "mrk blk",
+            "mrk sca", "mrk x", "equal",
+        ],
+    );
+
+    let mut all_equal = true;
+    let mut last_cell: Option<KernelRow> = None;
+    for &n in ns {
+        let k = n - ca_net::max_faults(n);
+        // ca-lint: allow(panic-path) — (n, k) are the experiment grid, not wire input
+        let rs = ReedSolomon::new(n, k).expect("valid grid parameters");
+        for &ell in ells {
+            let data: Vec<u8> = (0..ell as u32)
+                .map(|i| (i.wrapping_mul(2_654_435_761) >> 7) as u8)
+                .collect();
+
+            // Differential check once per cell, outside the timed loops.
+            let blocked = rs.encode(&data);
+            let scalar = rs.encode_scalar(&data);
+            let mut equal = blocked == scalar;
+            // Parity-heavy subset: take the k highest-indexed shares.
+            let subset: Vec<(usize, Share)> = (n - k..n).map(|i| (i, blocked[i].clone())).collect();
+            // ca-lint: allow(panic-path) — subset has exactly k verified shares
+            let rec_blocked = rs.decode(&subset).expect("k shares reconstruct");
+            // ca-lint: allow(panic-path) — same subset through the oracle
+            let rec_scalar = rs.decode_scalar(&subset).expect("k shares reconstruct");
+            equal &= rec_blocked == data && rec_scalar == data;
+            let leaves: Vec<Vec<u8>> = blocked.iter().map(Encode::encode_to_vec).collect();
+            let tree = MerkleTree::build(&leaves);
+            let tree_ref = MerkleTree::build_reference(&leaves);
+            equal &= tree.root() == tree_ref.root();
+            all_equal &= equal;
+
+            let enc_blk = mbps(ell, budget_ms, || {
+                std::hint::black_box(rs.encode(std::hint::black_box(&data)));
+            });
+            let enc_sca = mbps(ell, budget_ms, || {
+                std::hint::black_box(rs.encode_scalar(std::hint::black_box(&data)));
+            });
+            let dec_blk = mbps(ell, budget_ms, || {
+                // ca-lint: allow(panic-path) — verified above
+                std::hint::black_box(rs.decode(std::hint::black_box(&subset)).expect("decodes"));
+            });
+            let dec_sca = mbps(ell, budget_ms, || {
+                std::hint::black_box(
+                    // ca-lint: allow(panic-path) — verified above
+                    rs.decode_scalar(std::hint::black_box(&subset))
+                        .expect("decodes"),
+                );
+            });
+            let mrk_blk = mbps(ell, budget_ms, || {
+                std::hint::black_box(MerkleTree::build(std::hint::black_box(&leaves)));
+            });
+            let mrk_sca = mbps(ell, budget_ms, || {
+                std::hint::black_box(MerkleTree::build_reference(std::hint::black_box(&leaves)));
+            });
+
+            let row = KernelRow {
+                label: format!("n={n}, l={}KiB", ell >> 10),
+                n,
+                k,
+                ell_bytes: ell,
+                encode_blocked_mbps: enc_blk,
+                encode_scalar_mbps: enc_sca,
+                decode_blocked_mbps: dec_blk,
+                decode_scalar_mbps: dec_sca,
+                merkle_batched_mbps: mrk_blk,
+                merkle_reference_mbps: mrk_sca,
+                differential_equal: equal,
+            };
+            table.row_strings(vec![
+                n.to_string(),
+                format!("{}KiB", ell >> 10),
+                format!("{enc_blk:.0}"),
+                format!("{enc_sca:.0}"),
+                format!("{:.2}x", row.encode_speedup()),
+                format!("{dec_blk:.0}"),
+                format!("{dec_sca:.0}"),
+                format!("{:.2}x", row.decode_speedup()),
+                format!("{mrk_blk:.0}"),
+                format!("{mrk_sca:.0}"),
+                format!("{:.2}x", row.merkle_speedup()),
+                equal.to_string(),
+            ]);
+            summary.push_kernel(&row);
+            last_cell = Some(row);
+        }
+    }
+    table.print();
+
+    // The gate reads the grid's largest cell (n = 256, ℓ = 1 MiB on the
+    // full grid; the quick grid gates on its own largest cell so CI still
+    // exercises the comparison).
+    // ca-lint: allow(panic-path) — the grid is never empty
+    let cell = last_cell.expect("grid has cells");
+    let beats = all_equal && cell.encode_speedup() >= 2.0 && cell.decode_speedup() >= 2.0;
+    summary.set_flag("p1_blocked_beats_scalar", beats);
+    println!(
+        "P1 verdict: p1_blocked_beats_scalar = {beats} \
+         ({}: encode {:.2}x, decode {:.2}x, merkle {:.2}x, all cells equal = {all_equal})",
+        cell.label,
+        cell.encode_speedup(),
+        cell.decode_speedup(),
+        cell.merkle_speedup()
+    );
+    if let Some(dir) = artifacts {
+        match summary.write(dir) {
+            Ok(path) => eprintln!("[p1 artifacts: {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write BENCH_p1.json: {e}"),
+        }
+    }
+}
+
 /// Smoke-level sanity used by `cargo test -p ca-bench`: every experiment
 /// runs in quick mode without panicking.
 pub fn smoke_all() {
@@ -1236,6 +1407,42 @@ mod tests {
         ] {
             assert!(bench.contains(key), "missing {key} in:\n{bench}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// P1's artifact carries the kernel grid with the blocked-vs-scalar
+    /// gate. The speedup value is machine-dependent, so the test pins the
+    /// structure and the differential-equality verdict (which must hold
+    /// anywhere), not the flag itself.
+    #[test]
+    fn p1_artifact_has_kernel_grid() {
+        let dir = std::env::temp_dir().join(format!("ca-bench-p1-{}", std::process::id()));
+        assert!(super::run_by_name_opts("p1", true, Some(&dir)));
+        let bench = std::fs::read_to_string(dir.join("BENCH_p1.json")).unwrap();
+        assert_eq!(
+            bench.matches('{').count(),
+            bench.matches('}').count(),
+            "unbalanced braces in:\n{bench}"
+        );
+        for key in [
+            "\"experiment\": \"p1\"",
+            "\"p1_blocked_beats_scalar\"",
+            "\"kind\": \"kernel\"",
+            "\"label\": \"n=16, l=64KiB\"",
+            "\"label\": \"n=64, l=256KiB\"",
+            "\"encode\"",
+            "\"decode\"",
+            "\"merkle\"",
+            "\"blocked_mbps\"",
+            "\"scalar_mbps\"",
+            "\"speedup\"",
+        ] {
+            assert!(bench.contains(key), "missing {key} in:\n{bench}");
+        }
+        assert!(
+            !bench.contains("\"differential_equal\": false"),
+            "blocked and scalar kernels disagreed:\n{bench}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -306,6 +306,51 @@ impl BenchSummary {
         });
     }
 
+    /// Appends one hot-path kernel measurement (`kind: "kernel"`): one
+    /// (n, ℓ) grid cell of the P1 scaling sweep, blocked vs scalar
+    /// throughput in MB/s on one core, plus the differential-equality
+    /// verdict (blocked and scalar paths produced identical bytes).
+    pub fn push_kernel(&mut self, row: &KernelRow) {
+        let mut json = String::new();
+        json.push_str(&format!(
+            "    {{\n      \"label\": {},\n      \"kind\": \"kernel\",\n",
+            json_string(&row.label)
+        ));
+        json.push_str(&format!(
+            "      \"n\": {}, \"k\": {}, \"ell_bytes\": {},\n",
+            row.n, row.k, row.ell_bytes
+        ));
+        json.push_str(&format!(
+            "      \"encode\": {{ \"blocked_mbps\": {:.1}, \"scalar_mbps\": {:.1}, \
+             \"speedup\": {:.2} }},\n",
+            row.encode_blocked_mbps,
+            row.encode_scalar_mbps,
+            row.encode_speedup()
+        ));
+        json.push_str(&format!(
+            "      \"decode\": {{ \"blocked_mbps\": {:.1}, \"scalar_mbps\": {:.1}, \
+             \"speedup\": {:.2} }},\n",
+            row.decode_blocked_mbps,
+            row.decode_scalar_mbps,
+            row.decode_speedup()
+        ));
+        json.push_str(&format!(
+            "      \"merkle\": {{ \"batched_mbps\": {:.1}, \"reference_mbps\": {:.1}, \
+             \"speedup\": {:.2} }},\n",
+            row.merkle_batched_mbps,
+            row.merkle_reference_mbps,
+            row.merkle_speedup()
+        ));
+        json.push_str(&format!(
+            "      \"differential_equal\": {}\n    }}",
+            row.differential_equal
+        ));
+        self.runs.push(RunSummary {
+            label: row.label.clone(),
+            json,
+        });
+    }
+
     /// Labels of the runs recorded so far (in insertion order).
     #[must_use]
     pub fn labels(&self) -> Vec<&str> {
@@ -384,6 +429,57 @@ pub struct AsyncRow {
     pub agreement: bool,
     /// Decisions stayed inside the input hull.
     pub validity: bool,
+}
+
+/// One (n, ℓ) cell of the P1 kernel grid: single-core throughput of the
+/// blocked RS + batched-Merkle hot path against the scalar reference
+/// implementations (compiled in via the crates' `scalar-oracle` features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Human-readable cell label (e.g. `"n=256, l=1MiB"`).
+    pub label: String,
+    /// Codeword count.
+    pub n: usize,
+    /// Data shard count (`n − t`).
+    pub k: usize,
+    /// Input payload size in bytes.
+    pub ell_bytes: usize,
+    /// Blocked split-table encode throughput, MB of payload per second.
+    pub encode_blocked_mbps: f64,
+    /// Scalar log/antilog encode throughput.
+    pub encode_scalar_mbps: f64,
+    /// Blocked decode throughput (parity-heavy share subset — the worst
+    /// case, every output needs the full coefficient row).
+    pub decode_blocked_mbps: f64,
+    /// Scalar decode throughput on the same subset.
+    pub decode_scalar_mbps: f64,
+    /// Batched arena Merkle build throughput over the cell's leaves.
+    pub merkle_batched_mbps: f64,
+    /// Fresh-hasher level-by-level reference build throughput.
+    pub merkle_reference_mbps: f64,
+    /// Blocked and scalar paths produced byte-identical outputs, and the
+    /// batched and reference Merkle builds the same root.
+    pub differential_equal: bool,
+}
+
+impl KernelRow {
+    /// Blocked-over-scalar encode speedup.
+    #[must_use]
+    pub fn encode_speedup(&self) -> f64 {
+        self.encode_blocked_mbps / self.encode_scalar_mbps.max(f64::MIN_POSITIVE)
+    }
+
+    /// Blocked-over-scalar decode speedup.
+    #[must_use]
+    pub fn decode_speedup(&self) -> f64 {
+        self.decode_blocked_mbps / self.decode_scalar_mbps.max(f64::MIN_POSITIVE)
+    }
+
+    /// Batched-over-reference Merkle speedup.
+    #[must_use]
+    pub fn merkle_speedup(&self) -> f64 {
+        self.merkle_batched_mbps / self.merkle_reference_mbps.max(f64::MIN_POSITIVE)
+    }
 }
 
 /// `measured / claim` with three decimals, `"null"` when the claim is 0.

@@ -20,6 +20,12 @@ pub enum CodecError {
     },
     /// A LEB128 varint used more than 10 bytes or had a set bit beyond 64.
     VarintOverflow,
+    /// A LEB128 varint was not minimally encoded (e.g. `0x80 0x00` for 0).
+    ///
+    /// Accepting redundant encodings would let two distinct byte strings
+    /// decode to equal values, breaking the re-encode cross-checks that
+    /// `Π_ℓBA+` and byte-determinism diffing rely on.
+    NonCanonicalVarint,
     /// A decoded varint does not fit the target integer type.
     VarintRange {
         /// Target type name.
@@ -71,6 +77,9 @@ impl fmt::Display for CodecError {
                 )
             }
             CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::NonCanonicalVarint => {
+                write!(f, "varint is not minimally encoded")
+            }
             CodecError::VarintRange { type_name, value } => {
                 write!(f, "value {value} out of range for {type_name}")
             }

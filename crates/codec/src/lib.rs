@@ -255,26 +255,7 @@ impl<T: Encode> Encode for Vec<T> {
 
 impl<T: Decode> Decode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let len = usize::decode(r)?;
-        // An element encodes to >= 1 byte, so `len` may not exceed the
-        // remaining byte count for well-formed input.
-        if len > r.remaining() {
-            return Err(CodecError::LengthOverrun {
-                claimed: len,
-                available: r.remaining(),
-            });
-        }
-        if len > MAX_DECODE_CAPACITY {
-            return Err(CodecError::CapacityExceeded {
-                requested: len,
-                limit: MAX_DECODE_CAPACITY,
-            });
-        }
-        let mut out = Vec::with_capacity(len.min(MAX_DECODE_CAPACITY));
-        for _ in 0..len {
-            out.push(T::decode(r)?);
-        }
-        Ok(out)
+        r.decode_each(T::decode)
     }
 }
 

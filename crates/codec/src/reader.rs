@@ -28,6 +28,14 @@ impl<'a> Reader<'a> {
         self.remaining() == 0
     }
 
+    /// Borrows the unconsumed tail of the input without advancing.
+    ///
+    /// Zero-copy decoders use this to capture the exact byte span a value
+    /// was decoded from (pair it with [`Reader::remaining`] before/after).
+    pub fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
     /// Reads one byte.
     ///
     /// # Errors
@@ -85,11 +93,57 @@ impl<'a> Reader<'a> {
         self.get_raw(len)
     }
 
+    /// Decodes a length-prefixed sequence, reading each element with `f`.
+    ///
+    /// Applies the standard sequence bound checks before any allocation:
+    /// an element encodes to ≥ 1 byte, so the claimed count may not
+    /// exceed the remaining byte count, nor
+    /// [`MAX_DECODE_CAPACITY`](crate::MAX_DECODE_CAPACITY). Unlike the
+    /// blanket `Vec<T: Decode>` impl, `f` may return values that borrow
+    /// from the reader's input, which zero-copy decoders rely on.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] from the count prefix, the bound checks, or any
+    /// element.
+    pub fn decode_each<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Reader<'a>) -> Result<T, CodecError>,
+    ) -> Result<Vec<T>, CodecError> {
+        let len = self.get_varint()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::VarintRange {
+            type_name: "usize",
+            value: len,
+        })?;
+        if len > self.remaining() {
+            return Err(CodecError::LengthOverrun {
+                claimed: len,
+                available: self.remaining(),
+            });
+        }
+        if len > crate::MAX_DECODE_CAPACITY {
+            return Err(CodecError::CapacityExceeded {
+                requested: len,
+                limit: crate::MAX_DECODE_CAPACITY,
+            });
+        }
+        let mut out = Vec::with_capacity(len.min(crate::MAX_DECODE_CAPACITY));
+        for _ in 0..len {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
     /// Reads an unsigned LEB128 varint.
+    ///
+    /// Only the minimal encoding of each value is accepted: a multi-byte
+    /// varint whose final byte is `0x00` carries no payload bits and exists
+    /// only as a redundant spelling of a shorter encoding.
     ///
     /// # Errors
     ///
     /// [`CodecError::VarintOverflow`] if the varint does not fit in 64 bits,
+    /// [`CodecError::NonCanonicalVarint`] if the encoding is not minimal,
     /// or [`CodecError::UnexpectedEof`] on truncation.
     pub fn get_varint(&mut self) -> Result<u64, CodecError> {
         let mut result: u64 = 0;
@@ -101,6 +155,9 @@ impl<'a> Reader<'a> {
             }
             result |= payload << (7 * i);
             if byte & 0x80 == 0 {
+                if payload == 0 && i > 0 {
+                    return Err(CodecError::NonCanonicalVarint);
+                }
                 return Ok(result);
             }
         }
@@ -146,6 +203,64 @@ mod tests {
         bytes.push(0x02);
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_varint().unwrap_err(), CodecError::VarintOverflow);
+    }
+
+    #[test]
+    fn varint_rejects_non_minimal_encodings() {
+        // `0x80 0x00` is a two-byte spelling of 0; only `0x00` is canonical.
+        for bytes in [
+            &[0x80, 0x00][..],
+            &[0xff, 0x00][..],
+            &[0x80, 0x80, 0x00][..],
+            // 127 padded to two bytes.
+            &[0xff, 0x80, 0x00][..],
+            // u64::MAX low bits with a redundant zero terminator in byte 10.
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x00][..],
+        ] {
+            let mut r = Reader::new(bytes);
+            assert_eq!(
+                r.get_varint().unwrap_err(),
+                CodecError::NonCanonicalVarint,
+                "bytes = {bytes:02x?}"
+            );
+        }
+
+        // The single-byte encoding of 0 stays valid.
+        let mut r = Reader::new(&[0x00]);
+        assert_eq!(r.get_varint().unwrap(), 0);
+        // A final byte of 0x01 (e.g. value 128) is minimal.
+        let mut r = Reader::new(&[0x80, 0x01]);
+        assert_eq!(r.get_varint().unwrap(), 128);
+    }
+
+    #[test]
+    fn varint_boundary_encodings_stay_canonical() {
+        // Every power-of-two boundary round-trips through the writer's
+        // minimal encoding and is accepted.
+        use crate::Writer;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            for v in [v - 1, v, v.wrapping_add(1)] {
+                let mut w = Writer::new();
+                w.put_varint(v);
+                let bytes = w.into_vec();
+                let mut r = Reader::new(&bytes);
+                assert_eq!(r.get_varint().unwrap(), v, "v = {v}");
+                // Padding the same value with a continuation bit + 0x00 is
+                // rejected.
+                let mut padded = bytes.clone();
+                *padded.last_mut().unwrap() |= 0x80;
+                padded.push(0x00);
+                if padded.len() <= 10 {
+                    let mut r = Reader::new(&padded);
+                    assert_eq!(
+                        r.get_varint().unwrap_err(),
+                        CodecError::NonCanonicalVarint,
+                        "padded v = {v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -52,24 +52,47 @@ impl Encode for Witness {
 impl Decode for Witness {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let leaf_count = u32::decode(r)?;
+        if leaf_count == 0 {
+            return Err(CodecError::Invalid("merkle witness over zero leaves"));
+        }
         let path: Vec<Hash256> = Vec::decode(r)?;
-        // A tree over 2^32 leaves has a path of at most 32; reject absurd
-        // adversarial witnesses early.
-        if path.len() > 33 {
-            return Err(CodecError::Invalid("merkle path too long"));
+        // The tree shape is fully determined by leaf_count: the path must
+        // have exactly ⌈log₂(leaf_count)⌉ siblings. Anything else is an
+        // adversarial witness that verify() would reject anyway — failing
+        // at decode keeps malformed shapes out of protocol state entirely.
+        if path.len() != expected_depth(leaf_count) {
+            return Err(CodecError::Invalid(
+                "merkle path length mismatches leaf count",
+            ));
         }
         Ok(Self { leaf_count, path })
     }
+}
+
+/// Path length of every witness in a tree over `leaf_count` leaves:
+/// `log₂(leaf_count.next_power_of_two())`.
+fn expected_depth(leaf_count: u32) -> usize {
+    // Widened so leaf_count close to u32::MAX cannot overflow
+    // next_power_of_two (2^32 needs 33 bits).
+    u64::from(leaf_count).next_power_of_two().trailing_zeros() as usize
 }
 
 /// A built Merkle tree over a sequence of byte-string leaves.
 ///
 /// `MerkleTree::build(S)` is the paper's `MT.BUILD(S)`: it returns (via
 /// accessors) the root hash `z` and the witnesses `w₁ … wₙ`.
+///
+/// The tree is stored as a single heap-layout arena (`nodes[1]` is the
+/// root, children of `i` at `2i`/`2i + 1`, leaves at `width .. 2·width`),
+/// so a build is one allocation and the batched hashing below reuses one
+/// [`Sha256`] state across every leaf and every interior level instead of
+/// constructing a fresh hasher per node.
 #[derive(Debug, Clone)]
 pub struct MerkleTree {
-    /// levels[0] = leaf hashes (padded to a power of two), levels.last() = [root].
-    levels: Vec<Vec<Hash256>>,
+    /// Heap-layout node arena of size `2 · width`; index 0 is unused.
+    nodes: Vec<Hash256>,
+    /// Padded leaf width (`leaf_count.next_power_of_two()`).
+    width: usize,
     leaf_count: usize,
 }
 
@@ -80,6 +103,43 @@ impl MerkleTree {
     ///
     /// Panics if `leaves` is empty or holds more than `u32::MAX` entries.
     pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> Self {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        assert!(u32::try_from(leaves.len()).is_ok(), "too many leaves");
+        let leaf_count = leaves.len();
+        let width = leaf_count.next_power_of_two();
+
+        let mut nodes = vec![Hash256::default(); 2 * width];
+        let mut hasher = Sha256::new();
+        // Batched leaf hashing: one reused state across all leaves.
+        for (i, leaf) in leaves.iter().enumerate() {
+            hasher.update(&[DOMAIN_LEAF]);
+            hasher.update(&(i as u32).to_be_bytes());
+            hasher.update(&(leaf_count as u32).to_be_bytes());
+            hasher.update(leaf.as_ref());
+            nodes[width + i] = hasher.finalize_reset();
+        }
+        let pad = empty_leaf();
+        for node in &mut nodes[width + leaf_count..] {
+            *node = pad;
+        }
+        // Interior levels bottom-up, same reused state.
+        for i in (1..width).rev() {
+            hasher.update(&[DOMAIN_NODE]);
+            hasher.update(nodes[2 * i].as_bytes());
+            hasher.update(nodes[2 * i + 1].as_bytes());
+            nodes[i] = hasher.finalize_reset();
+        }
+        Self {
+            nodes,
+            width,
+            leaf_count,
+        }
+    }
+
+    /// Level-by-level reference build with a fresh hasher per node,
+    /// retained as the differential oracle for the batched arena build.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn build_reference<L: AsRef<[u8]>>(leaves: &[L]) -> Self {
         assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
         assert!(u32::try_from(leaves.len()).is_ok(), "too many leaves");
         let leaf_count = leaves.len();
@@ -100,12 +160,22 @@ impl MerkleTree {
                 .collect();
             levels.push(next);
         }
-        Self { levels, leaf_count }
+        // Re-pack the levels into the arena layout for comparison.
+        let mut nodes = vec![Hash256::default(); 2 * width];
+        for (depth, level) in levels.iter().enumerate() {
+            let base = width >> depth;
+            nodes[base..base + level.len()].copy_from_slice(level);
+        }
+        Self {
+            nodes,
+            width,
+            leaf_count,
+        }
     }
 
     /// The root hash `z`.
     pub fn root(&self) -> Hash256 {
-        self.levels.last().expect("nonempty")[0]
+        self.nodes[1]
     }
 
     /// Number of (real, unpadded) leaves.
@@ -120,10 +190,10 @@ impl MerkleTree {
     /// Panics if `index >= self.leaf_count()`.
     pub fn witness(&self, index: usize) -> Witness {
         assert!(index < self.leaf_count, "leaf index {index} out of range");
-        let mut path = Vec::with_capacity(self.levels.len().saturating_sub(1));
-        let mut pos = index;
-        for level in &self.levels[..self.levels.len() - 1] {
-            path.push(level[pos ^ 1]);
+        let mut path = Vec::with_capacity(self.width.trailing_zeros() as usize);
+        let mut pos = self.width + index;
+        while pos > 1 {
+            path.push(self.nodes[pos ^ 1]);
             pos >>= 1;
         }
         Witness {
@@ -147,8 +217,7 @@ impl MerkleTree {
         if leaf_count == 0 || index >= leaf_count {
             return false;
         }
-        let expected_depth = leaf_count.next_power_of_two().trailing_zeros() as usize;
-        if witness.path.len() != expected_depth {
+        if witness.path.len() != expected_depth(witness.leaf_count) {
             return false;
         }
         let mut acc = hash_leaf(index as u32, witness.leaf_count, leaf.as_ref());
@@ -273,6 +342,86 @@ mod tests {
     }
 
     #[test]
+    fn witness_decode_rejects_malformed_shapes() {
+        use ca_codec::{Decode, Encode};
+        // A legitimate 9-leaf witness has depth ⌈log₂ 9⌉ = 4.
+        let tree = MerkleTree::build(&leaves(9));
+        let good = tree.witness(5);
+        let encode = |w: &Witness| w.encode_to_vec();
+
+        // Short path: one sibling stripped.
+        let mut short = good.clone();
+        short.path.pop();
+        assert!(Witness::decode_from_slice(&encode(&short)).is_err());
+
+        // Long path: one extra sibling appended (this decoded fine before
+        // the depth cross-check — anything up to 33 was accepted).
+        let mut long = good.clone();
+        long.path.push(Hash256::default());
+        assert!(Witness::decode_from_slice(&encode(&long)).is_err());
+
+        // Mismatched leaf_count: same 4-sibling path, claimed tree of 3
+        // leaves (depth 2).
+        let mismatched = Witness {
+            leaf_count: 3,
+            path: good.path.clone(),
+        };
+        assert!(Witness::decode_from_slice(&encode(&mismatched)).is_err());
+
+        // Zero leaves is shapeless.
+        let zero = Witness {
+            leaf_count: 0,
+            path: vec![],
+        };
+        assert!(Witness::decode_from_slice(&encode(&zero)).is_err());
+
+        // The untampered witness still round-trips.
+        assert_eq!(Witness::decode_from_slice(&encode(&good)).unwrap(), good);
+    }
+
+    #[test]
+    fn witness_decode_depth_tracks_leaf_count_boundaries() {
+        use ca_codec::{Decode, Encode};
+        // Powers of two and their neighbours: depth(2^k) = k but
+        // depth(2^k + 1) = k + 1.
+        for leaf_count in [1u32, 2, 3, 4, 5, 7, 8, 9, 255, 256, 257] {
+            let depth = u64::from(leaf_count).next_power_of_two().trailing_zeros() as usize;
+            let ok = Witness {
+                leaf_count,
+                path: vec![Hash256::default(); depth],
+            };
+            assert!(
+                Witness::decode_from_slice(&ok.encode_to_vec()).is_ok(),
+                "leaf_count = {leaf_count}, depth = {depth}"
+            );
+            for bad_depth in [depth.wrapping_sub(1), depth + 1] {
+                if bad_depth > 40 {
+                    continue; // wrapped below zero
+                }
+                let bad = Witness {
+                    leaf_count,
+                    path: vec![Hash256::default(); bad_depth],
+                };
+                assert!(
+                    Witness::decode_from_slice(&bad.encode_to_vec()).is_err(),
+                    "leaf_count = {leaf_count}, bad_depth = {bad_depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_build_matches_reference_at_n_256() {
+        let data: Vec<Vec<u8>> = (0..256usize).map(|i| vec![i as u8; (i % 53) + 1]).collect();
+        let batched = MerkleTree::build(&data);
+        let reference = MerkleTree::build_reference(&data);
+        assert_eq!(batched.root(), reference.root());
+        for i in 0..data.len() {
+            assert_eq!(batched.witness(i), reference.witness(i), "leaf {i}");
+        }
+    }
+
+    #[test]
     fn witness_codec_round_trip() {
         let tree = MerkleTree::build(&leaves(9));
         let w = tree.witness(5);
@@ -293,6 +442,22 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_batched_matches_reference(n in 1usize..70, seed in any::<u64>()) {
+            // The arena build with one reused Sha256 state must be
+            // byte-identical to the fresh-hasher level-by-level reference.
+            let data: Vec<Vec<u8>> = (0..n)
+                .map(|i| {
+                    let len = ((seed >> (i % 8)) as usize % 97) + 1;
+                    vec![(i as u8).wrapping_mul(seed as u8); len]
+                })
+                .collect();
+            let batched = MerkleTree::build(&data);
+            let reference = MerkleTree::build_reference(&data);
+            prop_assert_eq!(batched.root(), reference.root());
+            prop_assert_eq!(batched.witnesses(), reference.witnesses());
+        }
+
         #[test]
         fn prop_build_verify(n in 1usize..40, tamper in any::<u64>()) {
             let data: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; (i % 7) + 1]).collect();

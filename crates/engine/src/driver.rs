@@ -32,13 +32,14 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Once;
 
 use bytes::Bytes;
-use ca_codec::{Decode as _, Encode as _, Writer};
+use ca_codec::{Encode as _, Writer};
 use ca_net::{Comm, Inbox, PartyId};
 use ca_runtime::LENGTH_PREFIX_LEN;
 use ca_trace::Event;
 
 use crate::{
-    ArrivalMode, EngineConfig, EngineStats, Envelope, SessionFrame, SessionId, SessionPlan,
+    ArrivalMode, EngineConfig, EngineStats, Envelope, EnvelopeRef, SessionFrame, SessionId,
+    SessionPlan,
 };
 
 /// The trace scope every engine-level record lives under; sessions nest
@@ -539,7 +540,11 @@ where
                 // ever sheds byzantine floods.
                 let mut accepted: BTreeMap<u64, usize> = BTreeMap::new();
                 for raw in inbox.raw_from(from) {
-                    let env = match Envelope::decode_from_slice(raw) {
+                    // Borrowed decode: frame payloads point into `raw`, and
+                    // each accepted one is re-anchored into the shared
+                    // allocation with `slice_ref` — routing a batch to k
+                    // sessions copies nothing.
+                    let env = match EnvelopeRef::decode_from_slice(raw) {
                         Ok(env) => env,
                         Err(_) => {
                             stats.malformed_envelopes += 1;
@@ -561,7 +566,7 @@ where
                             stats.shed_frames += 1;
                         } else {
                             *count += 1;
-                            session_inbox.push(from, Bytes::from(frame.payload));
+                            session_inbox.push(from, raw.slice_ref(frame.payload));
                         }
                     }
                 }
@@ -603,7 +608,7 @@ fn queue_sends(
         }
         outgoing[to.index()].push(SessionFrame {
             session: sid,
-            payload: payload.to_vec(),
+            payload,
         });
     }
 }

@@ -9,6 +9,7 @@
 //! actually present before any allocation, so a byzantine envelope can
 //! neither OOM the router nor panic it.
 
+use bytes::Bytes;
 use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
 
 /// Identifies one agreement session within an engine deployment.
@@ -49,31 +50,70 @@ impl Decode for SessionId {
 }
 
 /// One session's message inside an [`Envelope`].
+///
+/// The payload is a [`Bytes`] view: on the send side it is the very buffer
+/// the session protocol handed to its `Comm` (queued without copying), and
+/// on the receive side [`EnvelopeRef`] + `Bytes::slice_ref` re-anchor it
+/// into the received allocation, again without copying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionFrame {
     /// The session this payload belongs to.
     pub session: SessionId,
     /// The session protocol's encoded message, exactly as it handed it to
     /// its `Comm`.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Encode for SessionFrame {
     fn encode(&self, w: &mut Writer) {
         self.session.encode(w);
-        self.payload.encode(w);
+        w.put_bytes(&self.payload);
     }
     fn encoded_len(&self) -> usize {
-        self.session.encoded_len() + self.payload.encoded_len()
+        self.session.encoded_len()
+            + Writer::varint_len(self.payload.len() as u64)
+            + self.payload.len()
     }
 }
 
 impl Decode for SessionFrame {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(SessionFrame {
+        SessionFrameRef::decode(r).map(SessionFrameRef::into_owned)
+    }
+}
+
+/// Borrowed view of a [`SessionFrame`]: the payload points into the decode
+/// input. The engine router decodes envelopes through this view and hands
+/// each session a `Bytes::slice_ref` of the one received buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionFrameRef<'a> {
+    /// The session this payload belongs to.
+    pub session: SessionId,
+    /// The session protocol's encoded message, borrowed from the input.
+    pub payload: &'a [u8],
+}
+
+impl<'a> SessionFrameRef<'a> {
+    /// Decodes one frame, borrowing the payload from the reader's input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] from the session id or length-prefixed payload.
+    pub fn decode(r: &mut Reader<'a>) -> Result<Self, CodecError> {
+        Ok(SessionFrameRef {
             session: SessionId::decode(r)?,
-            payload: Vec::decode(r)?,
+            payload: r.get_bytes()?,
         })
+    }
+
+    /// Converts the view into an owned [`SessionFrame`] (copies the
+    /// payload).
+    #[must_use]
+    pub fn into_owned(self) -> SessionFrame {
+        SessionFrame {
+            session: self.session,
+            payload: Bytes::from(self.payload),
+        }
     }
 }
 
@@ -100,8 +140,53 @@ impl Encode for Envelope {
 impl Decode for Envelope {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Envelope {
-            frames: Vec::decode(r)?,
+            frames: EnvelopeRef::decode(r)?
+                .frames
+                .into_iter()
+                .map(SessionFrameRef::into_owned)
+                .collect(),
         })
+    }
+}
+
+/// Borrowed view of an [`Envelope`]: every frame payload points into the
+/// decode input, so routing one received buffer to many session inboxes
+/// allocates nothing beyond the frame table itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvelopeRef<'a> {
+    /// The coalesced frames, borrowing from the input.
+    pub frames: Vec<SessionFrameRef<'a>>,
+}
+
+impl<'a> EnvelopeRef<'a> {
+    /// Decodes an envelope, borrowing every payload from the reader's
+    /// input. [`Reader::decode_each`] applies the same bound checks as
+    /// `Vec::<SessionFrame>::decode`: the claimed frame count is
+    /// validated against the bytes actually present and the codec's
+    /// capacity ceiling before any allocation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] from the count prefix or a frame.
+    pub fn decode(r: &mut Reader<'a>) -> Result<Self, CodecError> {
+        let frames = r.decode_each(SessionFrameRef::decode)?;
+        Ok(EnvelopeRef { frames })
+    }
+
+    /// Decodes from a complete slice, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`EnvelopeRef::decode`], plus [`CodecError::TrailingBytes`].
+    pub fn decode_from_slice(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let env = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(env)
     }
 }
 
@@ -115,21 +200,53 @@ mod tests {
             frames: vec![
                 SessionFrame {
                     session: SessionId(0),
-                    payload: vec![1, 2, 3],
+                    payload: Bytes::from(vec![1, 2, 3]),
                 },
                 SessionFrame {
                     session: SessionId(7),
-                    payload: Vec::new(),
+                    payload: Bytes::new(),
                 },
                 SessionFrame {
                     session: SessionId(u64::MAX),
-                    payload: vec![0xFF; 300],
+                    payload: Bytes::from(vec![0xFF; 300]),
                 },
             ],
         };
         let bytes = env.encode_to_vec();
         assert_eq!(bytes.len(), env.encoded_len());
         assert_eq!(Envelope::decode_from_slice(&bytes).unwrap(), env);
+    }
+
+    /// The borrowed decode is byte-compatible with the owned one and its
+    /// payloads really do point into the input buffer (the whole point).
+    #[test]
+    fn envelope_ref_borrows_payloads_from_input() {
+        let env = Envelope {
+            frames: vec![
+                SessionFrame {
+                    session: SessionId(2),
+                    payload: Bytes::from(vec![9, 8, 7, 6]),
+                },
+                SessionFrame {
+                    session: SessionId(5),
+                    payload: Bytes::from(vec![0x42; 64]),
+                },
+            ],
+        };
+        let bytes = env.encode_to_vec();
+        let view = EnvelopeRef::decode_from_slice(&bytes).unwrap();
+        assert_eq!(view.frames.len(), 2);
+        let base = bytes.as_ptr() as usize;
+        for (frame, owned) in view.frames.iter().zip(&env.frames) {
+            assert_eq!(frame.session, owned.session);
+            assert_eq!(frame.payload, &owned.payload[..]);
+            let p = frame.payload.as_ptr() as usize;
+            assert!(p >= base && p + frame.payload.len() <= base + bytes.len());
+        }
+        // Trailing bytes rejected on the borrowed path too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(EnvelopeRef::decode_from_slice(&padded).is_err());
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl Adversary for EnvelopeAdversary {
             };
             for frame in env.frames {
                 if let Some(sends) = per_session.get_mut(&frame.session.0) {
-                    sends.push((*from, *to, Bytes::from(frame.payload)));
+                    sends.push((*from, *to, frame.payload));
                 }
             }
         }
@@ -87,7 +87,7 @@ impl Adversary for EnvelopeAdversary {
                 let env = Envelope {
                     frames: vec![SessionFrame {
                         session: SessionId(*sid),
-                        payload: send.payload.to_vec(),
+                        payload: send.payload.clone(),
                     }],
                 };
                 actions.sends.push(SendSpec {
@@ -147,11 +147,11 @@ mod tests {
             frames: vec![
                 SessionFrame {
                     session: SessionId(0),
-                    payload: vec![0xAA],
+                    payload: Bytes::from(vec![0xAA]),
                 },
                 SessionFrame {
                     session: SessionId(1),
-                    payload: vec![0xBB, 0xCC],
+                    payload: Bytes::from(vec![0xBB, 0xCC]),
                 },
             ],
         };
@@ -177,7 +177,7 @@ mod tests {
             rewrapped.frames,
             vec![SessionFrame {
                 session: SessionId(1),
-                payload: vec![1, 2],
+                payload: Bytes::from(vec![1, 2]),
             }]
         );
     }

@@ -126,6 +126,65 @@ impl Gf {
     }
 }
 
+/// Split multiplication tables for one fixed `GF(2^16)` coefficient.
+///
+/// Multiplication by a constant is linear over `GF(2)`, so the product
+/// decomposes over the low and high bytes of the variable operand:
+/// `c · x = c · (x & 0xff) ⊕ c · (x & 0xff00)`. Tabulating both halves gives
+/// `mul(x) = lo[x & 0xff] ^ hi[x >> 8]` — two L1 loads and an XOR per
+/// symbol, with no branches and no dependence on the 384 KiB log/antilog
+/// pair that the generic [`Gf::mul`] path streams through.
+///
+/// The table itself is built in the log domain (one index add plus one
+/// antilog lookup per entry, 510 entries), so a build amortizes after a few
+/// hundred symbols; the blocked RS kernels sweep thousands of stripes per
+/// build. Both tables together occupy 1 KiB and stay L1-resident for the
+/// whole sweep.
+#[derive(Debug, Clone)]
+pub struct MulTable {
+    lo: [u16; 256],
+    hi: [u16; 256],
+}
+
+impl MulTable {
+    /// Builds the split tables for multiplication by `c`.
+    pub fn new(c: Gf) -> Self {
+        let mut lo = [0u16; 256];
+        let mut hi = [0u16; 256];
+        if c.0 != 0 {
+            let t = tables();
+            let log_c = t.log[c.0 as usize] as usize;
+            for x in 1..256usize {
+                lo[x] = t.exp[log_c + t.log[x] as usize];
+                hi[x] = t.exp[log_c + t.log[x << 8] as usize];
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// `c · x` through the split tables.
+    #[inline]
+    pub fn mul(&self, x: Gf) -> Gf {
+        Gf(self.lo[(x.0 & 0xff) as usize] ^ self.hi[(x.0 >> 8) as usize])
+    }
+
+    /// Fused multiply-accumulate over a block: `acc[i] ^= c · xs[i]`.
+    ///
+    /// This is the RS inner loop; the slice form lets the compiler unroll
+    /// and keep both tables hot across the whole block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn mul_acc(&self, acc: &mut [Gf], xs: &[Gf]) {
+        assert_eq!(acc.len(), xs.len(), "mul_acc length mismatch");
+        for (a, &x) in acc.iter_mut().zip(xs) {
+            a.0 ^= self.lo[(x.0 & 0xff) as usize] ^ self.hi[(x.0 >> 8) as usize];
+        }
+    }
+}
+
 /// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + …` at `x` (Horner).
 pub fn poly_eval(coeffs: &[Gf], x: Gf) -> Gf {
     let mut acc = Gf::ZERO;
@@ -196,6 +255,52 @@ mod tests {
     }
 
     #[test]
+    fn alpha_wraps_at_order() {
+        // g^ORDER = g^0 = 1: indices reduce mod the multiplicative order,
+        // not mod 2^16 — an off-by-one here would silently alias evaluation
+        // points for i ≥ ORDER.
+        assert_eq!(Gf::alpha(ORDER), Gf::alpha(0));
+        assert_eq!(Gf::alpha(ORDER), Gf::ONE);
+        assert_eq!(Gf::alpha(ORDER + 1), Gf::alpha(1));
+        assert_eq!(Gf::alpha(ORDER + 5), Gf::alpha(5));
+        assert_eq!(Gf::alpha(2 * ORDER), Gf::ONE);
+        assert_eq!(Gf::alpha(2 * ORDER + 7), Gf::alpha(7));
+        // And the points just below the wrap stay distinct from their images.
+        assert_ne!(Gf::alpha(ORDER - 1), Gf::alpha(ORDER));
+    }
+
+    #[test]
+    fn mul_table_matches_generic_mul_exhaustive_coeffs() {
+        // Spot-check a spread of coefficients against Gf::mul over a
+        // structured operand set; the proptest below covers random pairs.
+        let operands: Vec<u16> = (0..=255u16)
+            .map(|b| b << 8 | b ^ 0x5a)
+            .chain([0, 1, 2, 0x00ff, 0xff00, 0xffff, 0x1234])
+            .collect();
+        for c in [0u16, 1, 2, 3, 0x00ff, 0x0100, 0x8000, 0xffff, 0x1100] {
+            let t = MulTable::new(Gf(c));
+            for &x in &operands {
+                assert_eq!(t.mul(Gf(x)), Gf(c).mul(Gf(x)), "c={c:#06x} x={x:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_accumulates_xor() {
+        let c = Gf(0x1234);
+        let t = MulTable::new(c);
+        let xs: Vec<Gf> = (0..100u16).map(|i| Gf(i.wrapping_mul(2557))).collect();
+        let mut acc: Vec<Gf> = (0..100u16).map(Gf).collect();
+        let expect: Vec<Gf> = acc
+            .iter()
+            .zip(&xs)
+            .map(|(&a, &x)| a.add(c.mul(x)))
+            .collect();
+        t.mul_acc(&mut acc, &xs);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
     fn poly_eval_constant_and_linear() {
         assert_eq!(poly_eval(&[Gf(7)], Gf(99)), Gf(7));
         // p(x) = 3 + 2x at x=1 → 3 ^ 2 = 1.
@@ -234,6 +339,12 @@ mod tests {
         fn prop_div_is_mul_inv(a in any::<u16>(), b in 1u16..) {
             let (a, b) = (Gf(a), Gf(b));
             prop_assert_eq!(a.div(b), a.mul(b.inv()));
+        }
+
+        #[test]
+        fn prop_mul_table_matches_generic_mul(c in any::<u16>(), x in any::<u16>()) {
+            let t = MulTable::new(Gf(c));
+            prop_assert_eq!(t.mul(Gf(x)), Gf(c).mul(Gf(x)));
         }
     }
 }

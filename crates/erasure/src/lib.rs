@@ -34,4 +34,4 @@ pub mod gf;
 
 mod rs;
 
-pub use rs::{ReedSolomon, RsError, Share};
+pub use rs::{ReedSolomon, RsError, Share, ShareRef};

@@ -1,11 +1,28 @@
 //! Systematic Reed–Solomon erasure coding (`RS.ENCODE` / `RS.DECODE`, §7).
+//!
+//! # Hot-path structure
+//!
+//! Encode and decode run *symbol-major over blocks of stripes*: the payload
+//! is transposed once into per-position columns, and every `coefficient ×
+//! column` product goes through a [`MulTable`] — two L1 lookups and an XOR
+//! per symbol — instead of the generic log/antilog round-trip. Zero
+//! coefficients are skipped and unit coefficients (systematic positions)
+//! take a plain XOR path. The original stripe-at-a-time scalar kernels are
+//! retained behind `#[cfg(any(test, feature = "scalar-oracle"))]` as the
+//! differential-testing oracle and the baseline the P1 benchmark measures
+//! against.
 
 use std::error::Error;
 use std::fmt;
 
 use ca_codec::{CodecError, Decode, Encode, Reader, Writer};
 
-use crate::gf::{Gf, ORDER};
+use crate::gf::{Gf, MulTable, ORDER};
+
+/// Stripes per cache block: 8192 symbols = 16 KiB per column block, so one
+/// accumulator block plus one input column block stay L1/L2-resident across
+/// the whole coefficient sweep of a row.
+const STRIPE_BLOCK: usize = 8192;
 
 /// One of the `n` codewords produced by [`ReedSolomon::encode`]
 /// (the paper's `sᵢ`).
@@ -49,19 +66,94 @@ impl Encode for Share {
 
 impl Decode for Share {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        ShareRef::decode(r).map(|s| s.to_share())
+    }
+}
+
+/// A borrowed view of an encoded [`Share`], decoded zero-copy from a
+/// receive buffer.
+///
+/// The view keeps the exact encoded byte span, which is precisely what a
+/// Merkle leaf commits to — so `Π_ℓBA+` can verify a received codeword
+/// against the agreed accumulator root *without* re-encoding it, and only
+/// materialize an owned [`Share`] (one symbol parse) for codewords that
+/// pass verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareRef<'a> {
+    /// The full encoded span: varint symbol count + big-endian symbols.
+    encoded: &'a [u8],
+    /// The symbol region (`2 × len` bytes) within `encoded`.
+    symbols: &'a [u8],
+}
+
+impl<'a> ShareRef<'a> {
+    /// Decodes a share without copying, borrowing from the reader's input.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Share::decode`]: [`CodecError::LengthOverrun`]
+    /// when the claimed symbol count exceeds the remaining bytes (the
+    /// claimed byte length is saturated, so a forged count near
+    /// `usize::MAX` reports cleanly instead of overflowing).
+    pub fn decode(r: &mut Reader<'a>) -> Result<Self, CodecError> {
+        let span = r.rest();
+        let before = r.remaining();
         let len = usize::decode(r)?;
-        if len.saturating_mul(2) > r.remaining() {
+        let claimed = len.saturating_mul(2);
+        if claimed > r.remaining() {
             return Err(CodecError::LengthOverrun {
-                claimed: 2 * len,
+                claimed,
                 available: r.remaining(),
             });
         }
-        let mut symbols = Vec::with_capacity(len);
-        for _ in 0..len {
-            let raw = r.get_raw(2)?;
-            symbols.push(Gf(u16::from_be_bytes([raw[0], raw[1]])));
+        let symbols = r.get_raw(claimed)?;
+        let consumed = before - r.remaining();
+        Ok(ShareRef {
+            encoded: &span[..consumed],
+            symbols,
+        })
+    }
+
+    /// Decodes from a complete slice, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShareRef::decode`], plus [`CodecError::TrailingBytes`].
+    pub fn decode_from_slice(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let share = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining(),
+            });
         }
-        Ok(Share { symbols })
+        Ok(share)
+    }
+
+    /// Number of stripes (symbols) in the viewed share.
+    pub fn len(&self) -> usize {
+        self.symbols.len() / 2
+    }
+
+    /// Whether the viewed share is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The exact encoded bytes this view was decoded from — the Merkle
+    /// leaf preimage, available without re-encoding.
+    pub fn encoded_bytes(&self) -> &'a [u8] {
+        self.encoded
+    }
+
+    /// Materializes an owned [`Share`] (parses the symbol bytes once).
+    pub fn to_share(&self) -> Share {
+        let symbols = self
+            .symbols
+            .chunks_exact(2)
+            .map(|b| Gf(u16::from_be_bytes([b[0], b[1]])))
+            .collect();
+        Share { symbols }
     }
 }
 
@@ -161,16 +253,184 @@ impl ReedSolomon {
         self.k
     }
 
-    /// `RS.ENCODE(v)`: splits `data` into `n` shares, any `k` of which
-    /// reconstruct it.
-    pub fn encode(&self, data: &[u8]) -> Vec<Share> {
-        // Frame the payload with its length so decode can strip padding.
+    /// Frames `data` with its length and pads to a whole number of stripes.
+    fn frame_payload(&self, data: &[u8]) -> Vec<u8> {
         let mut payload = Writer::with_capacity(data.len() + 9);
         payload.put_varint(data.len() as u64);
         payload.put_raw(data);
         let mut payload = payload.into_vec();
         let stripe_bytes = 2 * self.k;
         payload.resize(payload.len().div_ceil(stripe_bytes) * stripe_bytes, 0);
+        payload
+    }
+
+    /// Strips the length framing from a reconstructed payload, rejecting
+    /// nonzero padding.
+    fn unframe(payload: &[u8]) -> Result<Vec<u8>, RsError> {
+        let mut r = Reader::new(payload);
+        let len = r.get_varint().map_err(|_| RsError::BadPayload)?;
+        let len = usize::try_from(len).map_err(|_| RsError::BadPayload)?;
+        let data = r.get_raw(len).map_err(|_| RsError::BadPayload)?.to_vec();
+        // Remaining bytes must be zero padding.
+        let consumed = payload.len() - r.remaining();
+        if payload[consumed..].iter().any(|&b| b != 0) {
+            return Err(RsError::BadPayload);
+        }
+        Ok(data)
+    }
+
+    /// Selects the first `k` distinct in-range shares and validates their
+    /// stripe counts agree.
+    fn pick<'s>(&self, shares: &'s [(usize, Share)]) -> Result<Vec<(usize, &'s Share)>, RsError> {
+        let mut chosen: Vec<Option<&Share>> = vec![None; self.n];
+        let mut distinct = 0;
+        for (idx, share) in shares {
+            if *idx >= self.n {
+                return Err(RsError::IndexOutOfRange { index: *idx });
+            }
+            if chosen[*idx].is_none() {
+                chosen[*idx] = Some(share);
+                distinct += 1;
+            }
+        }
+        if distinct < self.k {
+            return Err(RsError::NotEnoughShares {
+                got: distinct,
+                needed: self.k,
+            });
+        }
+        let picked: Vec<(usize, &Share)> = chosen
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (i, s)))
+            .take(self.k)
+            .collect();
+        let stripes = picked[0].1.symbols.len();
+        if picked.iter().any(|(_, s)| s.symbols.len() != stripes) {
+            return Err(RsError::LengthMismatch);
+        }
+        Ok(picked)
+    }
+
+    /// Precomputes, for each data position `j`, how to reconstruct it from
+    /// the picked evaluation points: directly (systematic fast path) or as
+    /// a Lagrange combination.
+    fn coeff_rows(&self, picked: &[(usize, &Share)]) -> Vec<CoeffRow> {
+        let xs: Vec<Gf> = picked.iter().map(|(i, _)| Gf::alpha(*i)).collect();
+        (0..self.k)
+            .map(|j| {
+                if let Some(pos) = picked.iter().position(|(i, _)| *i == j) {
+                    CoeffRow::Direct(pos)
+                } else {
+                    CoeffRow::Combine(lagrange_row(&xs, Gf::alpha(j)))
+                }
+            })
+            .collect()
+    }
+
+    /// `RS.ENCODE(v)`: splits `data` into `n` shares, any `k` of which
+    /// reconstruct it.
+    ///
+    /// Blocked kernel: the payload is transposed once into `k` symbol
+    /// columns, then every parity row is accumulated column-by-column over
+    /// [`STRIPE_BLOCK`]-sized slices through [`MulTable`]s.
+    pub fn encode(&self, data: &[u8]) -> Vec<Share> {
+        let payload = self.frame_payload(data);
+        let stripe_bytes = 2 * self.k;
+        let stripes = payload.len() / stripe_bytes;
+
+        // Transpose to symbol-major columns: cols[j · stripes + s] is data
+        // symbol j of stripe s, so each coefficient sweep below reads and
+        // writes contiguous memory.
+        let mut cols = vec![Gf::ZERO; self.k * stripes];
+        for (s, stripe) in payload.chunks_exact(stripe_bytes).enumerate() {
+            for (j, sym) in stripe.chunks_exact(2).enumerate() {
+                cols[j * stripes + s] = Gf(u16::from_be_bytes([sym[0], sym[1]]));
+            }
+        }
+
+        let mut shares: Vec<Share> = Vec::with_capacity(self.n);
+        // Systematic part: shares 0..k *are* the data columns.
+        for col in cols.chunks_exact(stripes) {
+            shares.push(Share {
+                symbols: col.to_vec(),
+            });
+        }
+        // Parity part: evaluate p at α_k … α_{n−1}, one block of stripes at
+        // a time so the accumulator stays cache-resident across the k-column
+        // sweep.
+        for coeffs in &self.parity_matrix {
+            let mut acc = vec![Gf::ZERO; stripes];
+            let mut start = 0;
+            while start < stripes {
+                let end = stripes.min(start + STRIPE_BLOCK);
+                for (coeff, col) in coeffs.iter().zip(cols.chunks_exact(stripes)) {
+                    accumulate(&mut acc[start..end], *coeff, &col[start..end]);
+                }
+                start = end;
+            }
+            shares.push(Share { symbols: acc });
+        }
+        shares
+    }
+
+    /// `RS.DECODE`: reconstructs the original data from at least `k` shares
+    /// given as `(index, share)` pairs (duplicates allowed, first wins).
+    ///
+    /// Blocked kernel: share symbol vectors are already columns, so no
+    /// input transpose is needed; each missing data position is accumulated
+    /// block-by-block through [`MulTable`]s, and present (systematic)
+    /// positions are copied directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`RsError`] — too few shares, bad indices, inconsistent lengths,
+    /// or malformed payload framing.
+    pub fn decode(&self, shares: &[(usize, Share)]) -> Result<Vec<u8>, RsError> {
+        let picked = self.pick(shares)?;
+        let stripes = picked[0].1.symbols.len();
+        let coeff_rows = self.coeff_rows(&picked);
+
+        let mut out_cols: Vec<Vec<Gf>> = Vec::with_capacity(self.k);
+        for row in &coeff_rows {
+            match row {
+                CoeffRow::Direct(pos) => out_cols.push(picked[*pos].1.symbols.clone()),
+                CoeffRow::Combine(coeffs) => {
+                    let mut acc = vec![Gf::ZERO; stripes];
+                    let mut start = 0;
+                    while start < stripes {
+                        let end = stripes.min(start + STRIPE_BLOCK);
+                        for (coeff, (_, share)) in coeffs.iter().zip(&picked) {
+                            accumulate(&mut acc[start..end], *coeff, &share.symbols[start..end]);
+                        }
+                        start = end;
+                    }
+                    out_cols.push(acc);
+                }
+            }
+        }
+
+        // Transpose back to stripe-major bytes and strip the framing.
+        let stripe_bytes = 2 * self.k;
+        let mut payload = vec![0u8; stripes * stripe_bytes];
+        for (j, col) in out_cols.iter().enumerate() {
+            for (s, sym) in col.iter().enumerate() {
+                let be = sym.0.to_be_bytes();
+                let off = s * stripe_bytes + 2 * j;
+                payload[off] = be[0];
+                payload[off + 1] = be[1];
+            }
+        }
+        Self::unframe(&payload)
+    }
+
+    /// Stripe-at-a-time scalar `RS.ENCODE`, retained as the
+    /// differential-testing oracle for the blocked kernel (and the baseline
+    /// the P1 benchmark measures speedup against).
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn encode_scalar(&self, data: &[u8]) -> Vec<Share> {
+        let payload = self.frame_payload(data);
+        let stripe_bytes = 2 * self.k;
         let stripes = payload.len() / stripe_bytes;
 
         let mut shares = vec![
@@ -204,55 +464,17 @@ impl ReedSolomon {
         shares
     }
 
-    /// `RS.DECODE`: reconstructs the original data from at least `k` shares
-    /// given as `(index, share)` pairs (duplicates allowed, first wins).
+    /// Stripe-at-a-time scalar `RS.DECODE`, retained as the
+    /// differential-testing oracle for the blocked kernel.
     ///
     /// # Errors
     ///
-    /// See [`RsError`] — too few shares, bad indices, inconsistent lengths,
-    /// or malformed payload framing.
-    pub fn decode(&self, shares: &[(usize, Share)]) -> Result<Vec<u8>, RsError> {
-        let mut chosen: Vec<Option<&Share>> = vec![None; self.n];
-        let mut distinct = 0;
-        for (idx, share) in shares {
-            if *idx >= self.n {
-                return Err(RsError::IndexOutOfRange { index: *idx });
-            }
-            if chosen[*idx].is_none() {
-                chosen[*idx] = Some(share);
-                distinct += 1;
-            }
-        }
-        if distinct < self.k {
-            return Err(RsError::NotEnoughShares {
-                got: distinct,
-                needed: self.k,
-            });
-        }
-        let picked: Vec<(usize, &Share)> = chosen
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|s| (i, s)))
-            .take(self.k)
-            .collect();
+    /// See [`RsError`] — same contract as [`ReedSolomon::decode`].
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn decode_scalar(&self, shares: &[(usize, Share)]) -> Result<Vec<u8>, RsError> {
+        let picked = self.pick(shares)?;
         let stripes = picked[0].1.symbols.len();
-        if picked.iter().any(|(_, s)| s.symbols.len() != stripes) {
-            return Err(RsError::LengthMismatch);
-        }
-
-        // Precompute, for each data position j, the Lagrange coefficients of
-        // the picked evaluation points at α_j. Fast path: a picked share at
-        // index j < k *is* the data symbol (systematic code), but using the
-        // matrix keeps the code uniform; we special-case only availability.
-        let xs: Vec<Gf> = picked.iter().map(|(i, _)| Gf::alpha(*i)).collect();
-        let mut coeff_rows: Vec<CoeffRow> = Vec::with_capacity(self.k);
-        for j in 0..self.k {
-            if let Some(pos) = picked.iter().position(|(i, _)| *i == j) {
-                coeff_rows.push(CoeffRow::Direct(pos));
-            } else {
-                coeff_rows.push(CoeffRow::Combine(lagrange_row(&xs, Gf::alpha(j))));
-            }
-        }
+        let coeff_rows = self.coeff_rows(&picked);
 
         let stripe_bytes = 2 * self.k;
         let mut payload = vec![0u8; stripes * stripe_bytes];
@@ -273,19 +495,25 @@ impl ReedSolomon {
                 payload[s * stripe_bytes + 2 * j + 1] = be[1];
             }
         }
-
-        // Strip framing.
-        let mut r = Reader::new(&payload);
-        let len = r.get_varint().map_err(|_| RsError::BadPayload)?;
-        let len = usize::try_from(len).map_err(|_| RsError::BadPayload)?;
-        let data = r.get_raw(len).map_err(|_| RsError::BadPayload)?.to_vec();
-        // Remaining bytes must be zero padding.
-        let consumed = payload.len() - r.remaining();
-        if payload[consumed..].iter().any(|&b| b != 0) {
-            return Err(RsError::BadPayload);
-        }
-        Ok(data)
+        Self::unframe(&payload)
     }
+}
+
+/// `acc[i] ^= coeff · col[i]` with the zero/one fast paths: zero
+/// coefficients are skipped outright and unit coefficients take a plain
+/// XOR (no table build, no lookups).
+#[inline]
+fn accumulate(acc: &mut [Gf], coeff: Gf, col: &[Gf]) {
+    if coeff == Gf::ZERO {
+        return;
+    }
+    if coeff == Gf::ONE {
+        for (a, &x) in acc.iter_mut().zip(col) {
+            *a = a.add(x);
+        }
+        return;
+    }
+    MulTable::new(coeff).mul_acc(acc, col);
 }
 
 enum CoeffRow {
@@ -428,6 +656,127 @@ mod tests {
         assert_eq!(Share::decode_from_slice(&bytes).unwrap(), share);
     }
 
+    #[test]
+    fn share_ref_borrows_exact_encoded_span() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let share = rs.encode(b"view me without copying").remove(4);
+        let bytes = share.encode_to_vec();
+        let view = ShareRef::decode_from_slice(&bytes).unwrap();
+        assert_eq!(view.encoded_bytes(), &bytes[..]);
+        assert_eq!(view.len(), share.len());
+        assert_eq!(view.to_share(), share);
+
+        // Mid-stream decode captures only the share's span.
+        let mut stream = 42u32.encode_to_vec();
+        let start = stream.len();
+        stream.extend_from_slice(&bytes);
+        stream.extend_from_slice(b"tail");
+        let mut r = Reader::new(&stream);
+        assert_eq!(u32::decode(&mut r).unwrap(), 42);
+        let view = ShareRef::decode(&mut r).unwrap();
+        assert_eq!(view.encoded_bytes(), &stream[start..start + bytes.len()]);
+        assert_eq!(r.rest(), b"tail");
+    }
+
+    #[test]
+    fn share_decode_forged_length_saturates_claim() {
+        // Regression: a forged varint count near usize::MAX used to compute
+        // `claimed: 2 * len` with an unchecked multiply — an overflow panic
+        // in debug builds on the error path. The claim must saturate.
+        for forged in [usize::MAX, usize::MAX / 2 + 1, usize::MAX - 7] {
+            let mut w = Writer::new();
+            w.put_varint(forged as u64);
+            let bytes = w.into_vec();
+            let err = Share::decode_from_slice(&bytes).unwrap_err();
+            match err {
+                CodecError::LengthOverrun { claimed, available } => {
+                    assert_eq!(claimed, forged.saturating_mul(2), "forged = {forged}");
+                    assert_eq!(available, 0);
+                }
+                other => panic!("expected LengthOverrun, got {other:?}"),
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random k-subset of 0..n from a seed.
+    fn seeded_subset(n: usize, k: usize, seed: u64) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            indices.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        indices.truncate(k);
+        indices
+    }
+
+    #[test]
+    fn blocked_matches_scalar_at_n_256() {
+        // The acceptance-scale differential: blocked and scalar kernels must
+        // be byte-identical at the P1 grid's largest n, on both a
+        // systematic-heavy and a parity-heavy subset.
+        let n = 256;
+        let t = (n - 1) / 3;
+        let k = n - t; // 171
+        let rs = ReedSolomon::new(n, k).unwrap();
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| i.wrapping_mul(2654435761) as u8)
+            .collect();
+
+        let blocked = rs.encode(&data);
+        let scalar = rs.encode_scalar(&data);
+        assert_eq!(blocked, scalar);
+
+        // Systematic-heavy: data positions present, Direct fast path.
+        let subset: Vec<_> = (0..k).map(|i| (i, blocked[i].clone())).collect();
+        assert_eq!(
+            rs.decode(&subset).unwrap(),
+            rs.decode_scalar(&subset).unwrap()
+        );
+        assert_eq!(rs.decode(&subset).unwrap(), data);
+
+        // Parity-heavy: all parity shares plus the tail of the data shares —
+        // maximal Combine work.
+        let subset: Vec<_> = (n - k..n).map(|i| (i, blocked[i].clone())).collect();
+        assert_eq!(
+            rs.decode(&subset).unwrap(),
+            rs.decode_scalar(&subset).unwrap()
+        );
+        assert_eq!(rs.decode(&subset).unwrap(), data);
+    }
+
+    #[test]
+    fn blocked_matches_scalar_across_block_boundary() {
+        // Stripe counts straddling STRIPE_BLOCK exercise the block loop's
+        // remainder handling. Keep k small so the payload stays manageable.
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        for stripes in [
+            STRIPE_BLOCK - 1,
+            STRIPE_BLOCK,
+            STRIPE_BLOCK + 1,
+            2 * STRIPE_BLOCK + 3,
+        ] {
+            // 2k bytes per stripe, minus framing slack so counts land near
+            // the boundary.
+            let data = vec![0x5au8; stripes * 4 - 3];
+            let blocked = rs.encode(&data);
+            let scalar = rs.encode_scalar(&data);
+            assert_eq!(blocked, scalar, "stripes = {stripes}");
+            let subset: Vec<_> = [2usize, 3]
+                .iter()
+                .map(|&i| (i, blocked[i].clone()))
+                .collect();
+            assert_eq!(
+                rs.decode(&subset).unwrap(),
+                rs.decode_scalar(&subset).unwrap(),
+                "stripes = {stripes}"
+            );
+            assert_eq!(rs.decode(&subset).unwrap(), data, "stripes = {stripes}");
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -441,14 +790,10 @@ mod tests {
             let k = n - t;
             let rs = ReedSolomon::new(n, k).unwrap();
             let shares = rs.encode(&data);
-            // Deterministic pseudo-random k-subset from the seed.
-            let mut indices: Vec<usize> = (0..n).collect();
-            let mut s = seed;
-            for i in (1..n).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                indices.swap(i, (s % (i as u64 + 1)) as usize);
-            }
-            let subset: Vec<_> = indices[..k].iter().map(|&i| (i, shares[i].clone())).collect();
+            let subset: Vec<_> = seeded_subset(n, k, seed)
+                .into_iter()
+                .map(|i| (i, shares[i].clone()))
+                .collect();
             prop_assert_eq!(rs.decode(&subset).unwrap(), data);
         }
 
@@ -461,6 +806,28 @@ mod tests {
             let subset: Vec<_> = shares.iter().cloned().enumerate().skip(2).collect();
             let decoded = rs.decode(&subset).unwrap();
             prop_assert_eq!(rs.encode(&decoded), shares);
+        }
+
+        #[test]
+        fn prop_blocked_matches_scalar(
+            data in proptest::collection::vec(any::<u8>(), 0..800),
+            n in 4usize..40,
+            seed in any::<u64>(),
+        ) {
+            // The blocked kernels must be byte-identical to the retained
+            // scalar oracle across random (n, k, data, subset).
+            let t = (n - 1) / 3;
+            let k = n - t;
+            let rs = ReedSolomon::new(n, k).unwrap();
+            let blocked = rs.encode(&data);
+            let scalar = rs.encode_scalar(&data);
+            prop_assert_eq!(&blocked, &scalar);
+            let subset: Vec<_> = seeded_subset(n, k, seed)
+                .into_iter()
+                .map(|i| (i, blocked[i].clone()))
+                .collect();
+            prop_assert_eq!(rs.decode(&subset).unwrap(), rs.decode_scalar(&subset).unwrap());
+            prop_assert_eq!(rs.decode(&subset).unwrap(), data);
         }
     }
 }

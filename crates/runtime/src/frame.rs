@@ -143,43 +143,152 @@ impl Frame {
 
 impl Encode for Frame {
     fn encode(&self, w: &mut Writer) {
-        match self {
-            Frame::Hello { from } => {
-                w.put_u8(0);
-                from.encode(w);
-            }
-            Frame::Msg { round, payload } => {
-                w.put_u8(1);
-                round.encode(w);
-                payload.encode(w);
-            }
-            Frame::Eor { round } => {
-                w.put_u8(2);
-                round.encode(w);
-            }
-            Frame::Bye => w.put_u8(3),
-        }
+        self.as_ref_frame().encode(w);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.as_ref_frame().encoded_len()
     }
 }
 
 impl Decode for Frame {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        FrameRef::decode(r).map(FrameRef::into_owned)
+    }
+}
+
+/// A borrowed view of a [`Frame`], decoded zero-copy from a receive
+/// buffer: the `Msg` payload is a slice into the buffer the frame body was
+/// read from, so the reader task can hand it onward (via
+/// `Bytes::slice_ref`) without the decode-then-copy round-trip.
+///
+/// Wire format and validation are identical to [`Frame`];
+/// [`Frame::decode`] delegates here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameRef<'a> {
+    /// Connection handshake: announces the sender's party index.
+    Hello {
+        /// Sender's party index.
+        from: u32,
+    },
+    /// A protocol message belonging to a specific round.
+    Msg {
+        /// Round the message was sent in.
+        round: u64,
+        /// Opaque protocol payload, borrowed from the receive buffer.
+        payload: &'a [u8],
+    },
+    /// End-of-round marker: the sender has flushed everything for `round`.
+    Eor {
+        /// The completed round.
+        round: u64,
+    },
+    /// The sender's protocol terminated; treat as end-of-round for all
+    /// future rounds.
+    Bye,
+}
+
+impl<'a> FrameRef<'a> {
+    /// Decodes a frame body, borrowing the payload from the input.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Frame::decode`].
+    pub fn decode(r: &mut Reader<'a>) -> Result<Self, CodecError> {
         match r.get_u8()? {
-            0 => Ok(Frame::Hello {
+            0 => Ok(FrameRef::Hello {
                 from: u32::decode(r)?,
             }),
-            1 => Ok(Frame::Msg {
+            1 => Ok(FrameRef::Msg {
                 round: u64::decode(r)?,
-                payload: Vec::decode(r)?,
+                payload: r.get_bytes()?,
             }),
-            2 => Ok(Frame::Eor {
+            2 => Ok(FrameRef::Eor {
                 round: u64::decode(r)?,
             }),
-            3 => Ok(Frame::Bye),
+            3 => Ok(FrameRef::Bye),
             other => Err(CodecError::InvalidDiscriminant {
                 type_name: "Frame",
                 value: u64::from(other),
             }),
+        }
+    }
+
+    /// Decodes a complete frame body, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameRef::decode`], plus [`CodecError::TrailingBytes`].
+    pub fn decode_from_slice(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let frame = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+
+    /// Converts the view into an owned [`Frame`] (copies the payload).
+    #[must_use]
+    pub fn into_owned(self) -> Frame {
+        match self {
+            FrameRef::Hello { from } => Frame::Hello { from },
+            FrameRef::Msg { round, payload } => Frame::Msg {
+                round,
+                payload: payload.to_vec(),
+            },
+            FrameRef::Eor { round } => Frame::Eor { round },
+            FrameRef::Bye => Frame::Bye,
+        }
+    }
+}
+
+impl Frame {
+    /// Borrows this frame as a [`FrameRef`].
+    #[must_use]
+    pub fn as_ref_frame(&self) -> FrameRef<'_> {
+        match self {
+            Frame::Hello { from } => FrameRef::Hello { from: *from },
+            Frame::Msg { round, payload } => FrameRef::Msg {
+                round: *round,
+                payload,
+            },
+            Frame::Eor { round } => FrameRef::Eor { round: *round },
+            Frame::Bye => FrameRef::Bye,
+        }
+    }
+}
+
+impl Encode for FrameRef<'_> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            FrameRef::Hello { from } => {
+                w.put_u8(0);
+                from.encode(w);
+            }
+            FrameRef::Msg { round, payload } => {
+                w.put_u8(1);
+                round.encode(w);
+                w.put_bytes(payload);
+            }
+            FrameRef::Eor { round } => {
+                w.put_u8(2);
+                round.encode(w);
+            }
+            FrameRef::Bye => w.put_u8(3),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            FrameRef::Hello { from } => 1 + from.encoded_len(),
+            FrameRef::Msg { round, payload } => {
+                1 + round.encoded_len() + Writer::varint_len(payload.len() as u64) + payload.len()
+            }
+            FrameRef::Eor { round } => 1 + round.encoded_len(),
+            FrameRef::Bye => 1,
         }
     }
 }
@@ -208,6 +317,47 @@ mod tests {
     fn junk_rejected() {
         assert!(Frame::decode_from_slice(&[9]).is_err());
         assert!(Frame::decode_from_slice(&[]).is_err());
+        assert!(FrameRef::decode_from_slice(&[9]).is_err());
+        assert!(FrameRef::decode_from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn frame_ref_borrows_payload_from_input() {
+        let f = Frame::Msg {
+            round: 42,
+            payload: vec![7, 8, 9, 10],
+        };
+        let bytes = f.encode_to_vec();
+        let view = FrameRef::decode_from_slice(&bytes).unwrap();
+        let FrameRef::Msg { round, payload } = view else {
+            panic!("wrong variant");
+        };
+        assert_eq!(round, 42);
+        assert_eq!(payload, &[7, 8, 9, 10]);
+        // Zero-copy: the payload slice points into the encoded buffer.
+        let base = bytes.as_ptr() as usize;
+        let p = payload.as_ptr() as usize;
+        assert!(p >= base && p + payload.len() <= base + bytes.len());
+        assert_eq!(view.into_owned(), f);
+    }
+
+    #[test]
+    fn frame_ref_encode_matches_owned_encode() {
+        for f in [
+            Frame::Hello { from: 3 },
+            Frame::Msg {
+                round: 300,
+                payload: vec![0xCD; 200],
+            },
+            Frame::Eor { round: 9 },
+            Frame::Bye,
+        ] {
+            let owned = f.encode_to_vec();
+            let borrowed = f.as_ref_frame().encode_to_vec();
+            assert_eq!(owned, borrowed);
+            assert_eq!(f.encoded_len(), owned.len());
+            assert_eq!(f.as_ref_frame().encoded_len(), owned.len());
+        }
     }
 
     #[test]

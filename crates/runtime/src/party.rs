@@ -18,6 +18,7 @@ use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc as tokio_mpsc;
 
 use crate::clock::{Clock, MonotonicClock};
+use crate::frame::{FrameRef, LENGTH_PREFIX_LEN};
 use crate::stats::{RuntimeStats, StatsInner};
 use crate::{FaultPlan, Frame};
 
@@ -123,16 +124,40 @@ enum Event {
 /// What a writer task puts on the wire.
 #[derive(Debug)]
 enum WriterItem {
-    /// A well-formed frame: encoded and length-prefixed by the writer.
+    /// A protocol message: the payload [`Bytes`] are carried by reference
+    /// to the writer task, which frames them in place — the send path
+    /// never copies the payload into an owned [`Frame`].
+    Msg {
+        /// Round the message belongs to.
+        round: u64,
+        /// Protocol payload, shared with the caller's buffer.
+        payload: Bytes,
+    },
+    /// A well-formed control frame: encoded and length-prefixed by the
+    /// writer.
     Frame(Frame),
     /// Pre-framed raw bytes, used by fault injection to emit garbage
     /// that no honest writer would produce.
     Raw(Vec<u8>),
 }
 
+/// Message payloads at or below this size are copied into the header
+/// buffer and shipped as one `write_all`; larger ones go out as two writes
+/// (header, then the shared payload) so the copy disappears exactly where
+/// it costs something.
+const INLINE_WRITE_LIMIT: usize = 4096;
+
 impl WriterItem {
     fn wire_len(&self) -> u64 {
         match self {
+            WriterItem::Msg { round, payload } => {
+                (LENGTH_PREFIX_LEN
+                    + FrameRef::Msg {
+                        round: *round,
+                        payload,
+                    }
+                    .encoded_len()) as u64
+            }
             WriterItem::Frame(f) => f.wire_len() as u64,
             WriterItem::Raw(buf) => buf.len() as u64,
         }
@@ -274,16 +299,47 @@ impl TcpParty {
             // down — peers observe EOF only after in-flight frames land.
             runtime.spawn(async move {
                 while let Some(item) = rx.recv().await {
-                    let buf = match item {
+                    let result = match item {
+                        WriterItem::Msg { round, payload } => {
+                            // Frame in place: prefix + tag + round varint +
+                            // payload length varint, then the shared payload.
+                            // Small payloads are inlined into one write;
+                            // large ones go out without ever being copied.
+                            let body_len = FrameRef::Msg {
+                                round,
+                                payload: &payload,
+                            }
+                            .encoded_len();
+                            // Header ≤ prefix + tag + two max varints; the
+                            // payload is appended only when small enough to
+                            // inline, so the buffer is hard-capped.
+                            let mut head = ca_codec::Writer::with_capacity(
+                                (LENGTH_PREFIX_LEN + body_len)
+                                    .min(LENGTH_PREFIX_LEN + 21 + INLINE_WRITE_LIMIT),
+                            );
+                            head.put_raw(&(body_len as u32).to_be_bytes());
+                            head.put_u8(1);
+                            head.put_varint(round);
+                            head.put_varint(payload.len() as u64);
+                            if payload.len() <= INLINE_WRITE_LIMIT {
+                                head.put_raw(&payload);
+                                write_half.write_all(head.as_slice()).await
+                            } else {
+                                match write_half.write_all(head.as_slice()).await {
+                                    Ok(()) => write_half.write_all(&payload).await,
+                                    err => err,
+                                }
+                            }
+                        }
                         WriterItem::Frame(frame) => {
                             let body = frame.encode_to_vec();
                             let mut buf = (body.len() as u32).to_be_bytes().to_vec();
                             buf.extend_from_slice(&body);
-                            buf
+                            write_half.write_all(&buf).await
                         }
-                        WriterItem::Raw(buf) => buf,
+                        WriterItem::Raw(buf) => write_half.write_all(&buf).await,
                     };
-                    if write_half.write_all(&buf).await.is_err() {
+                    if result.is_err() {
                         break;
                     }
                 }
@@ -313,12 +369,18 @@ impl TcpParty {
                     if read_half.read_exact(&mut body).await.is_err() {
                         break;
                     }
-                    match Frame::decode_from_slice(&body) {
-                        Ok(Frame::Msg { round, payload }) => {
+                    // The receive buffer becomes the backing store for the
+                    // delivered payload: decode borrows from `body`, and the
+                    // Msg payload is re-anchored into the shared allocation
+                    // with `slice_ref` — no per-frame payload copy.
+                    let body = Bytes::from(body);
+                    match FrameRef::decode_from_slice(&body) {
+                        Ok(FrameRef::Msg { round, payload }) => {
+                            let payload = body.slice_ref(payload);
                             match event_tx.try_send(Event::Msg {
                                 from: peer,
                                 round,
-                                payload: Bytes::from(payload),
+                                payload,
                             }) {
                                 Ok(()) => {}
                                 Err(std_mpsc::TrySendError::Full(_)) => {
@@ -327,17 +389,17 @@ impl TcpParty {
                                 Err(std_mpsc::TrySendError::Disconnected(_)) => break,
                             }
                         }
-                        Ok(Frame::Eor { round }) => {
+                        Ok(FrameRef::Eor { round }) => {
                             if event_tx.send(Event::Eor { from: peer, round }).is_err() {
                                 break;
                             }
                         }
-                        Ok(Frame::Bye) => {
+                        Ok(FrameRef::Bye) => {
                             graceful = true;
                             break;
                         }
                         Err(_) => break,
-                        Ok(Frame::Hello { .. }) => continue,
+                        Ok(FrameRef::Hello { .. }) => continue,
                     }
                 }
                 let _ = event_tx.send(Event::Gone {
@@ -531,10 +593,10 @@ impl TcpParty {
         }
         self.enqueue(
             to,
-            WriterItem::Frame(Frame::Msg {
+            WriterItem::Msg {
                 round: self.round,
-                payload: payload.to_vec(),
-            }),
+                payload,
+            },
         );
     }
 
@@ -681,13 +743,7 @@ impl Comm for TcpParty {
                     bytes: payload.len() as u64,
                 });
             }
-            self.enqueue(
-                to.index(),
-                WriterItem::Frame(Frame::Msg {
-                    round,
-                    payload: payload.to_vec(),
-                }),
-            );
+            self.enqueue(to.index(), WriterItem::Msg { round, payload });
         }
         if !stalled {
             for peer in 0..self.n {

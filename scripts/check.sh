@@ -32,24 +32,29 @@
 #                      TCP, and the AS1 experiment must emit its BENCH
 #                      artifact with the async path beating the Δ-mistuned
 #                      sync baselines
+#  11. kernel smoke   — the flattened hot path: the P1 scaling grid (built
+#                      in release; throughput gates are meaningless at -O0)
+#                      must emit its BENCH artifact with the blocked RS
+#                      kernels differentially equal to the scalar oracle
+#                      and ≥ 2× faster on the grid's largest cell
 #
 # Everything runs offline: external crates are vendored under shims/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/10] cargo fmt --check"
+echo "==> [1/11] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/10] cargo clippy (warnings denied)"
+echo "==> [2/11] cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> [3/10] ca-analyzer --deny"
+echo "==> [3/11] ca-analyzer --deny"
 cargo run --offline -q -p ca-analyzer -- --deny
 
-echo "==> [4/10] cargo test (workspace)"
+echo "==> [4/11] cargo test (workspace)"
 cargo test --workspace --offline -q
 
-echo "==> [5/10] trace smoke (artifacts + invariants + NullSink guard)"
+echo "==> [5/11] trace smoke (artifacts + invariants + NullSink guard)"
 artifacts="$(mktemp -d)"
 trap 'rm -rf "$artifacts"' EXIT
 cargo run --offline -q -p ca-bench --bin experiments -- f3 --quick --artifacts "$artifacts" >/dev/null
@@ -61,17 +66,17 @@ cargo run --offline -q -p ca-trace --bin ca-trace -- report "$artifacts/run.json
 cargo test --offline -q -p convex-agreement --test trace_invariants \
     tracing_does_not_perturb_metrics >/dev/null
 
-echo "==> [6/10] engine smoke (S1 artifact + closed-loop load)"
+echo "==> [6/11] engine smoke (S1 artifact + closed-loop load)"
 cargo run --offline -q -p ca-bench --bin experiments -- s1 --quick --artifacts "$artifacts" >/dev/null
 test -s "$artifacts/BENCH_s1.json"  || { echo "missing BENCH_s1.json"; exit 1; }
 cargo run --offline -q -p ca-engine --example closed_loop -- 2 >/dev/null
 
-echo "==> [7/10] chaos smoke (crash-fault tolerance + R1 artifact)"
+echo "==> [7/11] chaos smoke (crash-fault tolerance + R1 artifact)"
 cargo test --offline -q -p convex-agreement --test chaos >/dev/null
 cargo run --offline -q -p ca-bench --bin experiments -- r1 --quick --artifacts "$artifacts" >/dev/null
 test -s "$artifacts/BENCH_r1.json"  || { echo "missing BENCH_r1.json"; exit 1; }
 
-echo "==> [8/10] adaptive smoke (conformance suite + A1 fast-path gate)"
+echo "==> [8/11] adaptive smoke (conformance suite + A1 fast-path gate)"
 cargo test --offline -q -p convex-agreement --test chaos fast_path_conformance >/dev/null
 cargo test --offline -q -p convex-agreement --test prop_end_to_end pi_n_adaptive >/dev/null
 cargo run --offline -q -p ca-bench --bin experiments -- a1 --quick --artifacts "$artifacts" >/dev/null
@@ -79,17 +84,25 @@ test -s "$artifacts/BENCH_a1.json"  || { echo "missing BENCH_a1.json"; exit 1; }
 grep -q '"f0_beats_worst_case": true' "$artifacts/BENCH_a1.json" \
     || { echo "BENCH_a1.json: fast path did not beat the worst case at f = 0"; exit 1; }
 
-echo "==> [9/10] deep semantic analysis (baseline-gated, offline)"
+echo "==> [9/11] deep semantic analysis (baseline-gated, offline)"
 cargo run --offline -q -p ca-analyzer -- --deep --deny --baseline analyzer-baseline.json
 cargo run --offline -q -p ca-analyzer -- --deep --deny --baseline analyzer-baseline.json \
     --emit json >/dev/null   # JSON emitter stays parseable for CI
 
-echo "==> [10/10] async smoke (chaos suite + AS1 artifact gate)"
+echo "==> [10/11] async smoke (chaos suite + AS1 artifact gate)"
 cargo test --offline -q -p convex-agreement --test async_chaos >/dev/null
 cargo test --offline -q -p ca-runtime --test async_tcp >/dev/null
 cargo run --offline -q -p ca-bench --bin experiments -- as1 --quick --artifacts "$artifacts" >/dev/null
 test -s "$artifacts/BENCH_as1.json" || { echo "missing BENCH_as1.json"; exit 1; }
 grep -q '"as1_async_wins": true' "$artifacts/BENCH_as1.json" \
     || { echo "BENCH_as1.json: async did not beat the mistuned sync baselines"; exit 1; }
+
+echo "==> [11/11] kernel smoke (P1 blocked-vs-scalar gate, release build)"
+cargo run --offline -q --release -p ca-bench --bin experiments -- p1 --quick --artifacts "$artifacts" >/dev/null
+test -s "$artifacts/BENCH_p1.json" || { echo "missing BENCH_p1.json"; exit 1; }
+grep -q '"differential_equal": false' "$artifacts/BENCH_p1.json" \
+    && { echo "BENCH_p1.json: blocked and scalar kernels disagreed"; exit 1; }
+grep -q '"p1_blocked_beats_scalar": true' "$artifacts/BENCH_p1.json" \
+    || { echo "BENCH_p1.json: blocked kernels did not beat the scalar oracle 2x"; exit 1; }
 
 echo "check.sh: all gates passed"

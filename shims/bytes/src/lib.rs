@@ -1,14 +1,22 @@
 //! Hermetic stand-in for the `bytes` crate: a cheaply clonable, immutable
-//! byte buffer. Implements exactly the surface this workspace uses.
+//! byte buffer with zero-copy subslicing. Implements exactly the surface
+//! this workspace uses.
 
+use std::cmp::Ordering;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, Range, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer. Cloning is O(1).
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// An immutable, reference-counted byte buffer. Cloning is O(1), and
+/// [`Bytes::slice`] / [`Bytes::slice_ref`] produce views that share the
+/// same allocation — the wire path hands out payload sub-slices of one
+/// received buffer without copying.
+#[derive(Clone, Default)]
 pub struct Bytes {
     inner: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -21,47 +29,109 @@ impl Bytes {
     /// Wraps a static byte slice (copied; the shim does not track 'static).
     #[must_use]
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self {
-            inner: Arc::from(bytes),
-        }
+        Self::from(bytes)
     }
 
     /// Number of bytes in the buffer.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.inner.to_vec()
+        self.as_slice().to_vec()
     }
+
+    /// Zero-copy subslice: the returned `Bytes` shares this buffer's
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let Range { start, end } = resolve(range, self.len());
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len(), "slice end {end} > len {}", self.len());
+        Self {
+            inner: Arc::clone(&self.inner),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Zero-copy subslice located by pointer identity: `sub` must be a
+    /// slice *into this buffer* (e.g. one returned by a borrowed decoder
+    /// over `&self[..]`); the returned `Bytes` covers exactly that span and
+    /// shares the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` does not lie within this buffer.
+    #[must_use]
+    pub fn slice_ref(&self, sub: &[u8]) -> Self {
+        if sub.is_empty() {
+            return Self::new();
+        }
+        let base = self.as_slice().as_ptr() as usize;
+        let ptr = sub.as_ptr() as usize;
+        assert!(
+            ptr >= base && ptr + sub.len() <= base + self.len(),
+            "slice_ref: sub-slice is not within the buffer"
+        );
+        let offset = ptr - base;
+        self.slice(offset..offset + sub.len())
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.inner[self.start..self.end]
+    }
+}
+
+/// Resolves any range-bound form against `len` (without clamping).
+fn resolve(range: impl RangeBounds<usize>, len: usize) -> Range<usize> {
+    use std::ops::Bound;
+    let start = match range.start_bound() {
+        Bound::Included(&s) => s,
+        Bound::Excluded(&s) => s + 1,
+        Bound::Unbounded => 0,
+    };
+    let end = match range.end_bound() {
+        Bound::Included(&e) => e + 1,
+        Bound::Excluded(&e) => e,
+        Bound::Unbounded => len,
+    };
+    start..end
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
         Self {
             inner: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
         }
     }
 }
@@ -70,14 +140,45 @@ impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
         Self {
             inner: Arc::from(v),
+            start: 0,
+            end: v.len(),
         }
+    }
+}
+
+// Views over different allocations with equal contents must compare equal,
+// so all comparisons go through the visible byte span, never the fields.
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.inner.iter() {
+        for &b in self.as_slice().iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -105,5 +206,60 @@ mod tests {
     fn debug_escapes() {
         let b = Bytes::from_static(b"a\x00");
         assert_eq!(format!("{b:?}"), "b\"a\\x00\"");
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        // Same backing allocation: the sub-slice's pointer lies inside b's.
+        let base = b.as_ref().as_ptr() as usize;
+        let sp = s.as_ref().as_ptr() as usize;
+        assert_eq!(sp, base + 2);
+        // Nested slicing composes.
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(s.slice(..).len(), 3);
+        assert!(s.slice(1..1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice end")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn slice_ref_locates_borrowed_subslice() {
+        let b = Bytes::from(vec![9u8, 8, 7, 6, 5]);
+        let view: &[u8] = &b[1..4];
+        let s = b.slice_ref(view);
+        assert_eq!(&s[..], &[8, 7, 6]);
+        let base = b.as_ref().as_ptr() as usize;
+        assert_eq!(s.as_ref().as_ptr() as usize, base + 1);
+        // Empty sub-slices are fine regardless of provenance.
+        assert!(b.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not within the buffer")]
+    fn slice_ref_foreign_slice_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let other = [1u8, 2, 3];
+        let _ = b.slice_ref(&other);
+    }
+
+    #[test]
+    fn equality_ignores_view_offsets() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]).slice(1..3);
+        let b = Bytes::from(vec![2u8, 3]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 }

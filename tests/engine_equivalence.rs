@@ -287,7 +287,7 @@ impl Adversary for Flood {
                 frames: (0..5)
                     .map(|i| SessionFrame {
                         session: self.live,
-                        payload: vec![0xAB, i],
+                        payload: Bytes::from(vec![0xAB, i]),
                     })
                     .collect(),
             };
@@ -300,7 +300,7 @@ impl Adversary for Flood {
             let stray = Envelope {
                 frames: vec![SessionFrame {
                     session: SessionId(999),
-                    payload: vec![0xCD],
+                    payload: Bytes::from(vec![0xCD]),
                 }],
             };
             actions.sends.push(SendSpec {
